@@ -1,0 +1,90 @@
+"""E10 — substrate validation: the classical algorithm zoo.
+
+The paper's related-work section (and its proofs) lean on established
+facts: YDS is offline-optimal, OA is alpha^alpha-competitive, BKP and qOA
+trade constants differently, AVR is the crude baseline. This bench
+reproduces the classical comparison table on shared instance families and
+asserts the orderings the literature guarantees:
+
+* YDS <= every online algorithm (optimality),
+* OA <= alpha^alpha * YDS (Bansal–Kimbrel–Pruhs),
+* AVR, BKP, qOA within their respective constants,
+* and on the adversarial family, OA's ratio climbs with n (the lower
+  bound shared by PD's Theorem 3).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import run_avr, run_bkp, run_oa, run_pd, run_qoa, yds
+from repro.model.job import Instance
+from repro.workloads import lower_bound_instance, poisson_instance
+
+from helpers import emit_table
+
+
+def classical_table():
+    rows = []
+    for seed in range(4):
+        base = poisson_instance(12, m=1, alpha=3.0, seed=seed)
+        inst = base.with_values([1e12] * base.n)
+        opt = yds(inst).energy
+        entry = {
+            "seed": seed,
+            "yds": opt,
+            "oa": run_oa(inst).energy,
+            "avr": run_avr(inst).energy,
+            "bkp": run_bkp(inst).energy,
+            "qoa": run_qoa(inst).energy,
+            "pd": run_pd(inst).cost,
+        }
+        rows.append(entry)
+    return rows
+
+
+@pytest.mark.benchmark(group="e10")
+def test_e10_classical_comparison(benchmark):
+    data = benchmark.pedantic(classical_table, rounds=1, iterations=1)
+    alpha = 3.0
+    rows = []
+    for e in data:
+        opt = e["yds"]
+        rows.append(
+            f"{e['seed']:>4d} {opt:>9.3f} {e['oa'] / opt:>7.3f} "
+            f"{e['qoa'] / opt:>7.3f} {e['bkp'] / opt:>7.3f} "
+            f"{e['avr'] / opt:>7.3f} {e['pd'] / opt:>7.3f}"
+        )
+        for name in ["oa", "avr", "bkp", "qoa", "pd"]:
+            assert e[name] >= opt * (1.0 - 1e-9), f"{name} beat the optimum"
+        assert e["oa"] <= alpha**alpha * opt * (1.0 + 1e-6)
+        assert e["pd"] <= alpha**alpha * opt * (1.0 + 1e-6)
+        assert e["avr"] <= ((2 * alpha) ** alpha / 2) * opt * (1.0 + 1e-6)
+        bkp_bound = 2 * (alpha / (alpha - 1)) ** alpha * math.e**alpha
+        assert e["bkp"] <= bkp_bound * opt * 1.1  # + discretization slack
+    emit_table(
+        "e10_classical",
+        f"{'seed':>4} {'YDS':>9} {'OA/':>7} {'qOA/':>7} {'BKP/':>7} "
+        f"{'AVR/':>7} {'PD/':>7}   (ratios vs YDS optimum)",
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="e10")
+def test_e10_oa_ratio_climbs_on_adversarial_family(benchmark):
+    def run():
+        out = []
+        for n in [4, 8, 16, 32]:
+            inst = lower_bound_instance(n, 3.0)
+            out.append((n, run_oa(inst).energy / yds(inst).energy))
+        return out
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [f"{n:>5d} {ratio:>8.3f}" for n, ratio in data]
+    emit_table("e10_oa_adversarial", f"{'n':>5} {'OA/OPT':>8}", rows)
+    ratios = [r for _, r in data]
+    assert all(b > a for a, b in zip(ratios, ratios[1:]))
+    assert ratios[-1] <= 27.0

@@ -1,0 +1,147 @@
+"""E12 — the profit objective: impossibility without augmentation.
+
+The paper minimizes *loss*; Pruhs & Stein (its reference [13]) maximize
+*profit*. The objectives are complementary on every schedule, yet their
+competitive theories diverge: the paper proves a clean α^α loss bound
+while Pruhs & Stein prove **no** bounded profit-competitiveness exists
+without resource augmentation. This bench reproduces the dichotomy on the
+executable margin-erosion family:
+
+* sweep the margin down: the profit ratio OPT/PD grows like 1/margin
+  (PD's profit is *exactly* the margin — closed form), while the loss
+  ratio of the very same runs stays far inside α^α;
+* switch on (1+eps)-speed augmentation: the profit ratio collapses to a
+  constant depending only on eps, for every margin.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import dual_certificate, run_pd, solve_exact
+from repro.profit import (
+    optimal_profit,
+    pd_energy_closed_form,
+    profit_of_result,
+    run_pd_augmented,
+    vanishing_margin_instance,
+)
+
+from helpers import emit_table
+
+ALPHA = 3.0
+MARGINS = [0.5, 0.1, 0.02, 0.004]
+EPSILONS = [0.0, 0.1, 0.3]
+
+
+def dichotomy_sweep():
+    rows = []
+    for margin in MARGINS:
+        inst = vanishing_margin_instance(margin, ALPHA)
+        result = run_pd(inst)
+        pd_profit = profit_of_result(result).profit
+        opt_profit_ = optimal_profit(inst)
+        loss_ratio = result.cost / solve_exact(inst).cost
+        cert = dual_certificate(result)
+        rows.append(
+            (margin, pd_profit, opt_profit_, opt_profit_ / pd_profit,
+             loss_ratio, cert.holds)
+        )
+    return rows
+
+
+def augmentation_sweep():
+    rows = []
+    for margin in MARGINS:
+        inst = vanishing_margin_instance(margin, ALPHA)
+        opt = optimal_profit(inst)
+        ratios = []
+        for eps in EPSILONS:
+            profit = run_pd_augmented(inst, eps).profit.profit
+            ratios.append(opt / profit if profit > 0 else float("inf"))
+        rows.append((margin, *ratios))
+    return rows
+
+
+@pytest.mark.benchmark(group="e12")
+def test_e12_profit_ratio_unbounded_without_augmentation(benchmark):
+    data = benchmark.pedantic(dichotomy_sweep, rounds=1, iterations=1)
+    emit_table(
+        "e12_profit_dichotomy",
+        f"{'margin':>8} {'PD profit':>10} {'OPT profit':>11} "
+        f"{'profit ratio':>13} {'loss ratio':>11} {'cert':>5}",
+        [
+            f"{m:>8.3f} {pdp:>10.4f} {opt:>11.4f} {ratio:>13.1f} "
+            f"{loss:>11.3f} {'ok' if cert else 'NO':>5}"
+            for m, pdp, opt, ratio, loss, cert in data
+        ],
+    )
+    margins = [row[0] for row in data]
+    profit_ratios = [row[3] for row in data]
+    loss_ratios = [row[4] for row in data]
+    # PD's profit equals the margin exactly (closed form of the family).
+    for m, pdp, *_ in data:
+        assert pdp == pytest.approx(m, rel=1e-6)
+    # Profit ratio explodes as the margin vanishes...
+    assert all(a < b for a, b in zip(profit_ratios, profit_ratios[1:]))
+    assert profit_ratios[-1] > 50 * profit_ratios[0]
+    # ... while the loss ratio stays flat and far inside alpha^alpha, and
+    # every run still carries a valid Theorem 3 certificate.
+    assert all(lr <= ALPHA**ALPHA for lr in loss_ratios)
+    assert max(loss_ratios) / min(loss_ratios) < 1.5
+    assert all(row[5] for row in data)
+    benchmark.extra_info["worst_profit_ratio"] = profit_ratios[-1]
+
+
+@pytest.mark.benchmark(group="e12")
+def test_e12_augmentation_restores_bounded_ratio(benchmark):
+    data = benchmark.pedantic(augmentation_sweep, rounds=1, iterations=1)
+    emit_table(
+        "e12_augmentation",
+        f"{'margin':>8} " + " ".join(f"{'eps=' + str(e):>10}" for e in EPSILONS),
+        [
+            f"{m:>8.3f} " + " ".join(f"{r:>10.2f}" for r in ratios)
+            for m, *ratios in data
+        ],
+    )
+    # Column eps=0: unbounded growth down the margin sweep.
+    col0 = [row[1] for row in data]
+    assert col0[-1] > 50 * col0[0]
+    # Columns eps>0: bounded uniformly over the margins (O(1) in margin).
+    for col in (2, 3):
+        ratios = [row[col] for row in data]
+        assert max(ratios) < 3.0, (
+            f"augmented ratio should be O(1), got {ratios}"
+        )
+    # More augmentation, better ratio, for every margin.
+    for row in data:
+        assert row[1] >= row[2] >= row[3]
+    benchmark.extra_info["epsilons"] = EPSILONS
+
+
+@pytest.mark.benchmark(group="e12")
+def test_e12_closed_forms_match_simulation(benchmark):
+    """The family's documentation claims exact closed forms; hold it to
+    them across the full (alpha, margin) sweep grid."""
+
+    def run():
+        out = []
+        for alpha in (2.0, 2.5, 3.0):
+            for margin in (0.3, 0.05):
+                inst = vanishing_margin_instance(margin, alpha)
+                result = run_pd(inst)
+                out.append(
+                    (
+                        alpha,
+                        margin,
+                        result.schedule.energy,
+                        pd_energy_closed_form(alpha),
+                        bool(result.accepted_mask.all()),
+                    )
+                )
+        return out
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    for alpha, margin, energy, closed, accepted_all in data:
+        assert accepted_all, f"trap must trap at alpha={alpha}"
+        assert energy == pytest.approx(closed, rel=1e-9)

@@ -1,0 +1,61 @@
+"""E1 — Theorem 3 upper bound: cost(PD) <= alpha^alpha * g(lambda~).
+
+The paper's headline claim. For every (alpha, m) cell we run PD on random
+instance families and report the worst observed certificate ratio
+``cost / g``; Theorem 3 says it never exceeds ``alpha**alpha`` — on any
+instance, including ones where OPT is unknowable. The bench fails if any
+run violates the certificate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import dual_certificate, run_pd
+from repro.workloads import heavy_tail_instance, poisson_instance, uniform_instance
+
+from helpers import emit_table
+
+ALPHAS = [1.5, 2.0, 2.5, 3.0]
+MS = [1, 2, 4, 8]
+SEEDS = range(3)
+FAMILIES = [poisson_instance, heavy_tail_instance, uniform_instance]
+
+
+def certificate_sweep() -> list[tuple[float, int, float, float]]:
+    out = []
+    for alpha in ALPHAS:
+        for m in MS:
+            worst = 0.0
+            mean_acc = 0.0
+            runs = 0
+            for family in FAMILIES:
+                for seed in SEEDS:
+                    inst = family(20, m=m, alpha=alpha, seed=seed)
+                    result = run_pd(inst)
+                    cert = dual_certificate(result).require()
+                    worst = max(worst, cert.ratio)
+                    mean_acc += float(result.accepted_mask.mean())
+                    runs += 1
+            out.append((alpha, m, worst, mean_acc / runs))
+    return out
+
+
+@pytest.mark.benchmark(group="e1")
+def test_e1_certificate_ratio_table(benchmark):
+    rows_data = benchmark.pedantic(certificate_sweep, rounds=1, iterations=1)
+    rows = []
+    for alpha, m, worst, acc in rows_data:
+        bound = alpha**alpha
+        rows.append(
+            f"{alpha:>5.1f} {m:>3d} {worst:>12.3f} {bound:>12.3f} "
+            f"{100 * worst / bound:>11.1f}% {100 * acc:>9.1f}%"
+        )
+        assert worst <= bound * (1.0 + 1e-7), (alpha, m, worst)
+    emit_table(
+        "e1_certificate",
+        f"{'alpha':>5} {'m':>3} {'worst ratio':>12} {'alpha^alpha':>12} "
+        f"{'% of bound':>12} {'accepted':>10}",
+        rows,
+    )
+    benchmark.extra_info["cells"] = len(rows_data)

@@ -1,0 +1,73 @@
+"""E2 — Theorem 3 tightness: the lower-bound instance family.
+
+The paper proves no better ratio is possible for PD: on the
+Bansal–Kimbrel–Pruhs family PD's cost-to-optimal ratio approaches
+``alpha**alpha`` from below as n grows. We measure the simulated ratio,
+pin it against the closed forms, and check monotone growth toward the
+bound (the paper's "tight analysis" claim, qualitatively: the bound is
+approached, never crossed).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import run_pd, yds
+from repro.workloads import (
+    lower_bound_instance,
+    optimal_cost_closed_form,
+    pd_cost_closed_form,
+)
+
+from helpers import emit_table
+
+NS = [2, 4, 8, 16, 32, 64]
+ALPHAS = [2.0, 3.0]
+
+
+def tightness_sweep():
+    out = []
+    for alpha in ALPHAS:
+        for n in NS:
+            inst = lower_bound_instance(n, alpha)
+            pd_cost = run_pd(inst).cost
+            opt = yds(inst).energy
+            out.append(
+                (
+                    alpha,
+                    n,
+                    pd_cost,
+                    opt,
+                    pd_cost / opt,
+                    pd_cost_closed_form(n, alpha),
+                    optimal_cost_closed_form(n, alpha),
+                )
+            )
+    return out
+
+
+@pytest.mark.benchmark(group="e2")
+def test_e2_lower_bound_tightness(benchmark):
+    data = benchmark.pedantic(tightness_sweep, rounds=1, iterations=1)
+    rows = []
+    for alpha, n, pd_cost, opt, ratio, closed_pd, closed_opt in data:
+        bound = alpha**alpha
+        # Simulation must match analysis exactly (closed forms).
+        assert abs(pd_cost - closed_pd) <= 1e-6 * closed_pd
+        assert abs(opt - closed_opt) <= 1e-9 * closed_opt
+        assert ratio <= bound + 1e-9
+        rows.append(
+            f"{alpha:>5.1f} {n:>5d} {pd_cost:>11.4f} {opt:>10.4f} "
+            f"{ratio:>8.3f} {bound:>8.1f} {100 * ratio / bound:>9.1f}%"
+        )
+    # Ratio grows monotonically within each alpha.
+    for alpha in ALPHAS:
+        ratios = [r for a, _, _, _, r, _, _ in data if a == alpha]
+        assert all(b > a for a, b in zip(ratios, ratios[1:])), ratios
+    emit_table(
+        "e2_lowerbound",
+        f"{'alpha':>5} {'n':>5} {'PD cost':>11} {'OPT':>10} {'ratio':>8} "
+        f"{'bound':>8} {'% bound':>10}",
+        rows,
+    )
+    benchmark.extra_info["max_n"] = max(NS)

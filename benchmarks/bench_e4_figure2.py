@@ -1,0 +1,78 @@
+"""E4 — Figure 2: Chen et al.'s schedule before/after a job arrival.
+
+Regenerates the paper's Figure 2 as an ASCII Gantt pair (written to
+``benchmarks/results/``) and quantifies Proposition 2 — the structural
+lemma behind the figure — over a randomized sweep: adding one job to an
+interval moves every processor's load by a delta in ``[0, z]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chen import partition_loads, schedule_interval
+from repro.model.power import PolynomialPower
+from repro.viz import interval_gantt
+
+from helpers import emit_table
+
+
+def figure2_renders() -> tuple[str, str]:
+    power = PolynomialPower(3.0)
+    before = [3.0, 1.2, 1.0, 0.8]
+    after = before + [1.5]
+    s_before = schedule_interval(before, m=4, start=0.0, end=1.0, power=power)
+    s_after = schedule_interval(after, m=4, start=0.0, end=1.0, power=power)
+    return (
+        interval_gantt([s_before], width=56, m=4),
+        interval_gantt([s_after], width=56, m=4),
+    )
+
+
+def proposition2_sweep(samples: int = 400) -> list[tuple[int, float, float]]:
+    """Per m: the extreme observed load deltas relative to z."""
+    rng = np.random.default_rng(2013)
+    out = []
+    for m in [2, 4, 8]:
+        min_delta = np.inf
+        max_excess = -np.inf
+        for _ in range(samples):
+            p = int(rng.integers(0, 3 * m))
+            loads = rng.exponential(1.0, size=p)
+            z = float(rng.exponential(1.0)) + 1e-6
+            before = partition_loads(loads, m).processor_loads()
+            after = partition_loads(np.append(loads, z), m).processor_loads()
+            delta = after - before
+            min_delta = min(min_delta, float(delta.min()))
+            max_excess = max(max_excess, float((delta - z).max()))
+        out.append((m, min_delta, max_excess))
+    return out
+
+
+@pytest.mark.benchmark(group="e4")
+def test_e4_figure2_gantt(benchmark):
+    before, after = benchmark.pedantic(figure2_renders, rounds=1, iterations=1)
+    emit_table(
+        "e4_figure2",
+        "Figure 2a (before) / 2b (after) — dedicated rows vs. wrapped pool",
+        [before, "", after],
+    )
+    # Qualitative shape: the big job keeps CPU 1 to itself in both panels.
+    assert before.splitlines()[0].count("A") > 50
+    assert after.splitlines()[0].count("A") > 50
+
+
+@pytest.mark.benchmark(group="e4")
+def test_e4_proposition2_sweep(benchmark):
+    data = benchmark.pedantic(proposition2_sweep, rounds=1, iterations=1)
+    rows = []
+    for m, min_delta, max_excess in data:
+        rows.append(f"{m:>3d} {min_delta:>14.3e} {max_excess:>16.3e}")
+        assert min_delta >= -1e-9, f"m={m}: a processor load decreased"
+        assert max_excess <= 1e-9, f"m={m}: a load moved by more than z"
+    emit_table(
+        "e4_proposition2",
+        f"{'m':>3} {'min delta':>14} {'max (delta-z)':>16}   (400 random arrivals each)",
+        rows,
+    )

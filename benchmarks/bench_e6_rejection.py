@@ -1,0 +1,78 @@
+"""E6 — the rejection-policy equivalence of Section 3.
+
+With the optimal ``delta = alpha^(1-alpha)``, the paper shows PD's
+rejection rule *is* the Chan–Lam–Li rule: reject a job iff its planned
+energy exceeds ``alpha^(alpha-2) * v_j`` (equivalently, iff its planned
+speed exceeds ``alpha^((alpha-2)/(alpha-1)) * (v/w)^(1/(alpha-1))``).
+
+We verify the rule against PD's *internal* decisions on every job of a
+randomized sweep: PD's recorded planned speed and its accept/reject bit
+must match the threshold formula exactly. We also report the decision
+agreement with an actual CLL run (same rule on OA's plan — high but not
+perfect agreement, since the plans differ).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import run_cll, run_pd
+from repro.workloads import heavy_tail_instance, poisson_instance
+
+from helpers import emit_table
+
+
+def rejection_sweep():
+    out = []
+    for alpha in [2.0, 2.5, 3.0]:
+        checked = mismatches = 0
+        agree = total = 0
+        for seed in range(5):
+            inst = poisson_instance(15, m=1, alpha=alpha, seed=seed)
+            result = run_pd(inst)
+            ordered = result.schedule.instance
+            threshold_factor = alpha ** ((alpha - 2.0) / (alpha - 1.0))
+            for j, d in enumerate(result.decisions):
+                job = ordered[j]
+                s_threshold = threshold_factor * (job.value / job.workload) ** (
+                    1.0 / (alpha - 1.0)
+                )
+                # PD rejects iff its planned speed would exceed the CLL
+                # threshold (up to the solver's tolerance band).
+                predicted_reject = d.planned_speed > s_threshold * (1.0 + 1e-6)
+                predicted_accept = d.planned_speed < s_threshold * (1.0 - 1e-6)
+                checked += 1
+                if d.accepted and predicted_reject:
+                    mismatches += 1
+                if (not d.accepted) and predicted_accept:
+                    mismatches += 1
+            cll = run_cll(inst.sorted_by_release())
+            agree += int((result.accepted_mask == cll.accepted_mask).sum())
+            total += inst.n
+        for seed in range(3):
+            inst = heavy_tail_instance(12, m=1, alpha=alpha, seed=seed)
+            result = run_pd(inst)
+            cll = run_cll(inst.sorted_by_release())
+            agree += int((result.accepted_mask == cll.accepted_mask).sum())
+            total += inst.n
+        out.append((alpha, checked, mismatches, agree / total))
+    return out
+
+
+@pytest.mark.benchmark(group="e6")
+def test_e6_rejection_policy_equivalence(benchmark):
+    data = benchmark.pedantic(rejection_sweep, rounds=1, iterations=1)
+    rows = []
+    for alpha, checked, mismatches, agreement in data:
+        rows.append(
+            f"{alpha:>5.1f} {checked:>8d} {mismatches:>10d} {100 * agreement:>11.1f}%"
+        )
+        assert mismatches == 0, (
+            f"alpha={alpha}: PD's decisions deviate from the threshold rule"
+        )
+        assert agreement >= 0.75
+    emit_table(
+        "e6_rejection",
+        f"{'alpha':>5} {'decisions':>8} {'rule-breaks':>11} {'CLL agreement':>12}",
+        rows,
+    )

@@ -1,0 +1,72 @@
+"""E7 — weak duality: g(lambda~) <= cost(OPT) <= cost(PD).
+
+The proof of Theorem 3 rests on ``g(lambda~)`` being a genuine lower
+bound on the optimal cost of the integral program (IMP). On instances
+small enough for exact enumeration we verify the full sandwich
+
+    ``cost(PD)/alpha^alpha <= g(lambda~) <= cost(OPT) <= cost(PD)``
+
+and report how tight each link is. This is the experiment that would
+catch a wrong dual formula even when the end-to-end ratio looks fine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import dual_certificate, run_pd, solve_exact
+from repro.workloads import poisson_instance, tight_instance
+
+from helpers import emit_table
+
+CASES = [
+    ("poisson", poisson_instance, dict(n=7, m=1, alpha=2.0)),
+    ("poisson", poisson_instance, dict(n=6, m=2, alpha=2.0)),
+    ("poisson", poisson_instance, dict(n=7, m=1, alpha=3.0)),
+    ("tight", tight_instance, dict(n=7, m=1, alpha=2.0)),
+]
+
+
+def duality_sweep():
+    out = []
+    for name, family, kwargs in CASES:
+        for seed in range(3):
+            inst = family(seed=seed, **kwargs)
+            result = run_pd(inst)
+            cert = dual_certificate(result)
+            opt = solve_exact(inst.sorted_by_release()).cost
+            out.append(
+                (
+                    name,
+                    kwargs["m"],
+                    kwargs["alpha"],
+                    seed,
+                    cert.g,
+                    opt,
+                    cert.cost,
+                    kwargs["alpha"] ** kwargs["alpha"],
+                )
+            )
+    return out
+
+
+@pytest.mark.benchmark(group="e7")
+def test_e7_weak_duality_sandwich(benchmark):
+    data = benchmark.pedantic(duality_sweep, rounds=1, iterations=1)
+    rows = []
+    for name, m, alpha, seed, g, opt, cost, bound in data:
+        rows.append(
+            f"{name:>8} {m:>2d} {alpha:>4.1f} {seed:>4d} {g:>10.4f} "
+            f"{opt:>10.4f} {cost:>10.4f} {opt / g:>7.3f} {cost / opt:>7.3f}"
+        )
+        slack = 1e-6
+        assert g <= opt * (1.0 + slack) + 1e-9, "dual exceeded OPT"
+        assert opt <= cost * (1.0 + slack) + 1e-9, "OPT exceeded PD"
+        assert cost <= bound * g * (1.0 + slack) + 1e-9, "certificate broke"
+    emit_table(
+        "e7_duality",
+        f"{'family':>8} {'m':>2} {'a':>4} {'seed':>4} {'g(dual)':>10} "
+        f"{'OPT':>10} {'PD':>10} {'OPT/g':>7} {'PD/OPT':>7}",
+        rows,
+    )
+    benchmark.extra_info["instances"] = len(data)

@@ -1,0 +1,89 @@
+"""E8 — the multiprocessor claim: PD handles any m at ratio alpha^alpha.
+
+The paper's second headline: PD is the *first* algorithm for profitable
+speed scaling on multiple processors, with the same ``alpha**alpha``
+guarantee. We sweep m, comparing PD against the offline convex optimum
+(finish-the-same-set) and checking:
+
+* the certificate holds for every m (the guarantee is m-independent),
+* cost decreases monotonically in m (more parallelism never hurts),
+* PD tracks the offline optimum within a small factor far below the
+  worst-case bound on benign workloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import dual_certificate, run_pd, solve_min_energy
+from repro.workloads import diurnal_instance, poisson_instance
+
+from helpers import emit_table
+
+MS = [1, 2, 4, 8, 16]
+
+
+def multiproc_sweep():
+    out = []
+    base = poisson_instance(24, m=1, alpha=3.0, seed=11)
+    for m in MS:
+        inst = base.with_machine(m=m)
+        result = run_pd(inst)
+        cert = dual_certificate(result)
+        # Offline comparator: cheapest way to finish exactly PD's accepted
+        # set, plus the same lost value (an upper bound on how much of
+        # PD's cost is online overhead rather than acceptance choices).
+        accepted = [int(j) for j in result.accepted_mask.nonzero()[0]]
+        offline = solve_min_energy(result.schedule.instance, accepted)
+        offline_cost = offline.energy + result.schedule.lost_value
+        out.append((m, result.cost, offline_cost, cert.ratio, cert.bound))
+    return out
+
+
+@pytest.mark.benchmark(group="e8")
+def test_e8_processor_sweep(benchmark):
+    data = benchmark.pedantic(multiproc_sweep, rounds=1, iterations=1)
+    rows = []
+    prev_cost = None
+    for m, cost, offline_cost, ratio, bound in data:
+        rows.append(
+            f"{m:>3d} {cost:>12.4f} {offline_cost:>14.4f} "
+            f"{cost / offline_cost:>10.3f} {ratio:>9.3f} {bound:>8.1f}"
+        )
+        assert ratio <= bound * (1.0 + 1e-7)
+        assert cost >= offline_cost * (1.0 - 1e-7)
+        if prev_cost is not None:
+            assert cost <= prev_cost * (1.0 + 1e-6), "more processors hurt"
+        prev_cost = cost
+    emit_table(
+        "e8_multiproc",
+        f"{'m':>3} {'PD cost':>12} {'offline(same)':>14} {'PD/offline':>11} "
+        f"{'cert':>9} {'bound':>8}",
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="e8")
+def test_e8_datacenter_cluster(benchmark):
+    def run():
+        out = []
+        for m in [2, 4, 8]:
+            inst = diurnal_instance(40, m=m, alpha=3.0, seed=3)
+            result = run_pd(inst)
+            cert = dual_certificate(result).require()
+            out.append((m, result.cost, float(result.accepted_mask.mean()), cert.ratio))
+        return out
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        f"{m:>3d} {cost:>12.3f} {100 * acc:>9.1f}% {ratio:>8.3f}"
+        for m, cost, acc, ratio in data
+    ]
+    emit_table(
+        "e8_datacenter",
+        f"{'m':>3} {'PD cost':>12} {'accepted':>10} {'ratio':>8}",
+        rows,
+    )
+    # More capacity -> (weakly) more accepted jobs on the same trace.
+    acc = [a for _, _, a, _ in data]
+    assert acc[-1] >= acc[0] - 1e-9

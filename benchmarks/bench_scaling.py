@@ -1,0 +1,52 @@
+"""Runtime scaling of the full PD pipeline.
+
+Not a paper artifact — an engineering bench tracking how wall-clock cost
+grows with instance size and processor count. PD's arrival step is
+O(N log p) water-level queries inside a bisection, with N <= 2n atomic
+intervals, so a full run is ~O(n^2 log n); the table makes regressions
+from that envelope visible.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import dual_certificate, run_pd
+from repro.workloads import poisson_instance
+
+from helpers import emit_table
+
+
+def scaling_sweep():
+    out = []
+    for n in [25, 50, 100, 200]:
+        for m in [1, 4]:
+            inst = poisson_instance(n, m=m, alpha=3.0, seed=0)
+            t0 = time.perf_counter()
+            result = run_pd(inst)
+            t_run = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            cert = dual_certificate(result)
+            t_cert = time.perf_counter() - t0
+            assert cert.holds
+            out.append((n, m, t_run, t_cert, result.cost))
+    return out
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_scaling_pd_pipeline(benchmark):
+    data = benchmark.pedantic(scaling_sweep, rounds=1, iterations=1)
+    rows = [
+        f"{n:>5d} {m:>3d} {1e3 * t_run:>12.1f} {1e3 * t_cert:>12.1f}"
+        for n, m, t_run, t_cert, _ in data
+    ]
+    emit_table(
+        "scaling",
+        f"{'n':>5} {'m':>3} {'PD run (ms)':>12} {'certify (ms)':>12}",
+        rows,
+    )
+    # Soft envelope: 200 jobs must stay comfortably interactive.
+    worst = max(t for _, _, t, _, _ in data)
+    assert worst < 30.0, f"PD run took {worst:.1f}s — runtime regression"

@@ -1,0 +1,36 @@
+"""Shared utilities for the benchmark/experiment harness.
+
+Every experiment bench does three things:
+
+1. runs the workload sweep for one paper artifact (table/figure/claim),
+2. prints the reproduction table (and writes it to
+   ``benchmarks/results/`` so EXPERIMENTS.md can quote it verbatim), and
+3. asserts the *qualitative* claim — who wins, in which direction the
+   ratios move, which bounds hold — so a regression in any algorithm
+   fails the bench rather than silently producing a different table.
+
+Timing happens through pytest-benchmark's fixture; experiment sweeps use
+``benchmark.pedantic(rounds=1)`` because the interesting quantity is the
+table, not the nanoseconds, while genuine hot-path micro-benchmarks (in
+``bench_micro.py``) use default calibration.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit_table(name: str, header: str, rows: Iterable[str]) -> str:
+    """Print a table and persist it under ``benchmarks/results/<name>.txt``."""
+    lines = [header, "-" * len(header)]
+    lines.extend(rows)
+    text = "\n".join(lines)
+    print(f"\n=== {name} ===")
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")
+    return text

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Hunting hard instances: stress-testing Theorem 3 by local search.
+
+The paper guarantees ``cost(PD) <= alpha^alpha * g(lambda~)`` on *every*
+instance. This example turns that theorem into a game: randomized
+hill-climbing mutates instances to maximize the certified ratio, trying
+(and necessarily failing) to breach the bound. Along the way it shows
+
+1. where typical random instances sit relative to the bound,
+2. how much harder local search can make them, and
+3. how the paper's analytic staircase family compares at equal size.
+
+Run: ``python examples/adversary_hunt.py``
+"""
+
+from __future__ import annotations
+
+from repro import dual_certificate, run_pd
+from repro.analysis import search_adversarial
+from repro.workloads import lower_bound_instance, poisson_instance
+
+ALPHA = 3.0
+BOUND = ALPHA**ALPHA
+
+
+def main() -> None:
+    seeds = [poisson_instance(6, m=1, alpha=ALPHA, seed=s) for s in range(3)]
+    seed_ratios = [dual_certificate(run_pd(s)).ratio for s in seeds]
+    print(f"bound alpha^alpha = {BOUND:.0f}")
+    print(f"random seeds' certified ratios: "
+          f"{', '.join(f'{r:.2f}' for r in seed_ratios)}")
+    print()
+
+    print("hill-climbing (120 rounds per seed)...")
+    found = search_adversarial(seeds, rounds=120, rng=0, max_jobs=12)
+    print(f"  hardest found: ratio {found.ratio:.3f} "
+          f"({100 * found.ratio / BOUND:.1f}% of the bound, "
+          f"{found.evaluations} evaluations)")
+    print(f"  improvement trajectory: "
+          f"{' -> '.join(f'{r:.2f}' for r in found.history)}")
+    print()
+
+    hardest = found.instance
+    print(f"the hardest instance has {hardest.n} jobs:")
+    for i, job in enumerate(hardest.jobs):
+        print(f"    J{i}: window [{job.release:.2f}, {job.deadline:.2f}) "
+              f"work {job.workload:.3f} value {job.value:.3f}")
+    print()
+
+    staircase = lower_bound_instance(hardest.n, ALPHA)
+    stair_ratio = dual_certificate(run_pd(staircase)).ratio
+    print(f"the paper's staircase at the same size: ratio {stair_ratio:.3f}")
+    print()
+    print("Takeaways: the certificate held on every evaluation (it is a")
+    print("theorem); local search beats the analytic family at small n")
+    print("because the staircase is extremal only asymptotically.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Discrete speed levels: running PD on SpeedStep-style hardware.
+
+The paper's motivation cites Intel SpeedStep and AMD PowerNow!, real
+technologies with a *finite* menu of frequency steps. This example shows
+the discrete substrate end to end:
+
+1. run continuous PD on a bursty workload,
+2. emulate the schedule on geometric menus of increasing granularity and
+   watch the energy premium vanish,
+3. tighten the menu's *top speed* until it bites and watch the pipeline
+   degrade gracefully (screen dense jobs, re-plan, pay their value).
+
+Run: ``python examples/discrete_speeds.py``
+"""
+
+from __future__ import annotations
+
+from repro import run_pd
+from repro.discrete import (
+    SpeedSet,
+    discretize_schedule,
+    menu_covering_schedule,
+    run_pd_discrete,
+    worst_overhead_factor,
+)
+from repro.workloads import poisson_instance
+
+
+def main() -> None:
+    instance = poisson_instance(
+        14, m=2, alpha=3.0, arrival_rate=1.5, seed=42
+    )
+    result = run_pd(instance)
+    print("continuous PD:", result.schedule.cost_breakdown())
+    print()
+
+    # --- 1. How much does a finite menu cost? -------------------------
+    print("menu granularity vs energy premium (geometric levels):")
+    print(f"  {'levels':>7} {'overhead':>9} {'envelope bound':>15}")
+    for count in (2, 4, 8, 16, 32):
+        menu = menu_covering_schedule(result, count)
+        disc = discretize_schedule(result.schedule, menu)
+        bound = worst_overhead_factor(menu, instance.alpha)
+        print(f"  {count:>7d} {disc.overhead:>9.4f} {bound:>15.4f}")
+    print()
+
+    # --- 2. A realistic 6-step menu ------------------------------------
+    menu = menu_covering_schedule(result, 6)
+    disc = discretize_schedule(result.schedule, menu)
+    disc.validate()
+    print(f"6-level menu: {[f'{s:.3f}' for s in menu]}")
+    print(
+        f"  discrete energy {disc.energy:.4f} vs continuous "
+        f"{disc.continuous_energy:.4f} (x{disc.overhead:.4f})"
+    )
+    print(f"  segments: {len(disc.segments)} (two per continuous run)")
+    print()
+    from repro.viz import segment_gantt
+
+    print("rounded schedule (each run split fast-then-slow):")
+    print(segment_gantt(disc.segments, width=64, m=instance.m))
+    print()
+
+    # --- 3. When the top speed bites -----------------------------------
+    speeds = result.schedule.processor_speed_matrix()
+    s_top = float(speeds.max())
+    print(f"fastest speed PD wants: {s_top:.4f}")
+    print(f"  {'cap':>6} {'cost':>10} {'screened':>9} {'accepted':>9}")
+    for frac in (1.0, 0.7, 0.5, 0.35):
+        capped = SpeedSet.geometric(0.02 * s_top, frac * s_top, 16)
+        res = run_pd_discrete(instance, capped)
+        print(
+            f"  {frac:>6.2f} {res.cost:>10.4f} "
+            f"{len(res.screened_ids):>9d} "
+            f"{len(res.accepted_original_ids):>9d}"
+        )
+    print()
+    print(
+        "Takeaway: discreteness is a second-order effect (premium < 1% by"
+        " ~32 levels),\nbut a hard top-speed cap changes the *admission*"
+        " problem - dense jobs become\nunservable and their value is an"
+        " unavoidable loss on that hardware."
+    )
+
+
+if __name__ == "__main__":
+    main()

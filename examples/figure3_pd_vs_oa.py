@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Regenerate the paper's Figure 3: PD's schedule vs. OA's schedule.
+
+Both PD (with high job values) and Optimal Available raise speeds when
+new work arrives, but they differ structurally: when a job arrives, OA
+*re-plans everything* — it may redistribute previously assigned work —
+while PD only adds the new job where marginal energy is cheapest and
+never moves earlier jobs. The paper's Figure 3 illustrates this on two
+jobs: PD's resulting profile is more conservative, leaving more slack in
+the late intervals for future arrivals.
+
+Run: ``python examples/figure3_pd_vs_oa.py``
+"""
+
+from __future__ import annotations
+
+from repro import Instance, run_oa, run_pd
+from repro.viz import speed_profile
+
+
+def main() -> None:
+    # The Figure 3 setup: a long relaxed job whose window extends past the
+    # horizon of a tighter job arriving later (single processor). The
+    # overhang is what makes the two algorithms diverge: OA may move job
+    # A's remaining work into the late interval, PD cannot.
+    instance = Instance.classical(
+        [
+            (0.0, 3.0, 1.5),  # job A: available the whole horizon
+            (1.0, 2.0, 1.2),  # job B: arrives at t=1 with a tight deadline
+        ],
+        m=1,
+        alpha=3.0,
+    )
+
+    pd = run_pd(instance)
+    oa = run_oa(instance)
+
+    print("PD schedule (Fig. 3a) — job A's early assignment is frozen:")
+    print(speed_profile(pd.schedule, width=64, height=6))
+    print(f"energy: {pd.cost:.4f}\n")
+
+    print("OA schedule (Fig. 3b) — re-optimizes everything at t=1:")
+    print(speed_profile(oa.schedule, width=64, height=6))
+    print(f"energy: {oa.energy:.4f}\n")
+
+    # Quantify the structural difference: speed in the *final* atomic
+    # interval [2, 3). When job B arrived, OA re-planned job A's remaining
+    # work into the late interval; PD left A's early assignment frozen, so
+    # its late speed stays at A's original uniform rate.
+    def late_speed(schedule) -> float:
+        grid = schedule.grid
+        k = grid.locate(2.5)
+        return float(schedule.processor_speed_matrix()[0, k])
+
+    pd_late, oa_late = late_speed(pd.schedule), late_speed(oa.schedule)
+    print(f"speed during [2, 3):   PD = {pd_late:.4f}   OA = {oa_late:.4f}")
+    assert pd_late < oa_late, "expected PD to be more conservative here"
+    print(
+        "PD's last interval is slower: more room for jobs that might still "
+        "arrive (the paper's Figure 3 observation)"
+    )
+    # OA is optimal-available: for the *known* jobs it is cheaper; PD pays
+    # a premium for conservatism on this fixed instance.
+    print(f"energy premium of PD here: {100 * (pd.cost / oa.energy - 1):.2f}%")
+
+
+if __name__ == "__main__":
+    main()

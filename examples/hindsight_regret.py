@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Itemize PD's online regret: bad admissions vs. conservative placement.
+
+Theorem 3 says PD never pays more than alpha^alpha times the optimum —
+but *where* does the gap come from on a concrete run? The hindsight
+decomposition splits it exactly into
+
+* admission regret — accepting/rejecting differently than the offline
+  optimum would, and
+* placement regret — spreading accepted work more conservatively than an
+  offline scheduler (the Figure 3 effect).
+
+Run: ``python examples/hindsight_regret.py``
+"""
+
+from __future__ import annotations
+
+from repro.analysis import hindsight_decomposition
+from repro.core.pd import run_pd
+from repro.workloads import poisson_instance, tight_instance
+
+
+def main() -> None:
+    cases = [
+        ("poisson, relaxed windows", poisson_instance(8, m=1, alpha=2.0, seed=4)),
+        ("tight windows", tight_instance(8, m=1, alpha=2.0, seed=4)),
+        ("poisson, two processors", poisson_instance(7, m=2, alpha=2.0, seed=4)),
+    ]
+    for title, inst in cases:
+        result = run_pd(inst)
+        decomposition = hindsight_decomposition(result)
+        print(f"--- {title} (n={inst.n}, m={inst.m}, alpha={inst.alpha}) ---")
+        print(decomposition.summary())
+        print()
+    print(
+        "Placement regret is the price of never moving frozen work; "
+        "admission regret is the price of deciding accept/reject without "
+        "knowing the future. Theorem 3 caps their sum at "
+        "(alpha^alpha - 1) x OPT; in practice both stay tiny on benign "
+        "workloads."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Beyond s^alpha: PD with a cube-rule-plus-leakage power function.
+
+The paper's conclusion conjectures its primal-dual framework extends to
+richer models. This example runs the unchanged PD machinery with
+``P(s) = s**3 + c*s`` — the classical cube rule plus a linear leakage
+term — and shows what carries over:
+
+1. pricing, placement, and rejection all work verbatim;
+2. the generalized dual value still certifies a per-run competitive
+   ratio (weak duality is power-independent);
+3. leakage changes *behaviour* in the direction physics predicts:
+   running slow is no longer nearly free, so marginal jobs flip from
+   accepted to rejected as leakage grows.
+
+Run: ``python examples/leakage_power.py``
+"""
+
+from __future__ import annotations
+
+from repro.general import SumPower, general_dual_bound, run_pd_general
+from repro.workloads import poisson_instance
+
+ALPHA = 3.0
+DELTA = ALPHA ** (1.0 - ALPHA)
+
+
+def main() -> None:
+    instance = poisson_instance(12, m=2, alpha=ALPHA, seed=8)
+    print(f"workload: {instance.n} jobs on {instance.m} processors")
+    print()
+    print(f"  {'leak c':>7} {'cost':>10} {'energy':>10} {'accepted':>9} "
+          f"{'cert. ratio':>12}")
+    for leak in (0.0, 0.1, 0.5, 2.0, 10.0):
+        power = (
+            SumPower([1.0], [ALPHA])
+            if leak == 0.0
+            else SumPower([1.0, leak], [ALPHA, 1.0])
+        )
+        result = run_pd_general(instance, power, delta=DELTA)
+        bound = general_dual_bound(result)
+        acc = int(result.accepted_mask.sum())
+        print(f"  {leak:>7.1f} {result.cost:>10.3f} {result.energy:>10.3f} "
+              f"{acc:>5d}/{instance.n} {bound.ratio:>12.3f}")
+    print()
+    print("Reading the table: leakage makes low speeds expensive, so the")
+    print("scheduler sheds marginal jobs (accepted column falls); every row")
+    print("still carries a certified cost/g ratio via weak duality, even")
+    print("though the alpha^alpha theorem only covers the c = 0 row.")
+
+
+if __name__ == "__main__":
+    main()

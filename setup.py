@@ -1,0 +1,21 @@
+"""Setuptools shim.
+
+The environment has no `wheel` package, so PEP 660 editable installs fail;
+with this file present, ``pip install -e .`` falls back to the legacy
+``setup.py develop`` path, which works offline.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.1.0",
+    description=(
+        "Reproduction of Kling & Pietrzyk, 'Profitable Scheduling on "
+        "Multiple Speed-Scalable Processors' (SPAA 2013)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy", "networkx"],
+)

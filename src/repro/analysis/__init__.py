@@ -1,0 +1,73 @@
+"""Analysis layer: dual certificates, job categories, traces, metrics.
+
+This package turns the paper's *proof* into executable checks:
+
+* :func:`dual_certificate` — ``g(lambda~)`` and the Theorem 3 certificate
+  ``cost(PD) <= alpha**alpha * g(lambda~)``.
+* :func:`categorize` / :func:`lemma_bounds` — the J1/J2/J3 split and the
+  inequalities of Lemmas 9–11.
+* :func:`build_traces` / :func:`check_proposition7` — Section 4.2's job
+  traces and Proposition 7's speed bounds.
+* :func:`kkt_residual` (re-exported) — stationarity check for offline
+  convex solutions.
+* :func:`schedule_metrics` — summary statistics for benchmark tables.
+"""
+
+from ..offline.convex import kkt_residual
+from .adversary import AdversaryResult, mutate_instance, search_adversarial
+from .categories import (
+    CategoryReport,
+    LemmaBounds,
+    categorize,
+    category_threshold,
+    lemma_bounds,
+)
+from .certificates import DualCertificate, contributing_jobs, dual_certificate
+from .hindsight import HindsightDecomposition, hindsight_decomposition
+from .metrics import ScheduleMetrics, empirical_ratio, schedule_metrics
+from .preemption import PreemptionStats, preemption_stats
+from .report import AuditReport, audit_run
+from .sweeps import (
+    SweepCell,
+    acceptance_curve,
+    augmentation_curve,
+    format_cells,
+    menu_granularity_curve,
+    processor_scaling_curve,
+    ratio_sweep,
+)
+from .traces import TraceReport, build_traces, check_proposition7
+
+__all__ = [
+    "AdversaryResult",
+    "search_adversarial",
+    "mutate_instance",
+    "PreemptionStats",
+    "preemption_stats",
+    "dual_certificate",
+    "DualCertificate",
+    "contributing_jobs",
+    "categorize",
+    "CategoryReport",
+    "category_threshold",
+    "lemma_bounds",
+    "LemmaBounds",
+    "build_traces",
+    "TraceReport",
+    "check_proposition7",
+    "kkt_residual",
+    "schedule_metrics",
+    "ScheduleMetrics",
+    "empirical_ratio",
+    "audit_run",
+    "AuditReport",
+    "hindsight_decomposition",
+    "HindsightDecomposition",
+    "ratio_sweep",
+    "menu_granularity_curve",
+    "augmentation_curve",
+    "acceptance_curve",
+    "processor_scaling_curve",
+    "SweepCell",
+    "format_cells",
+]

@@ -1,0 +1,72 @@
+"""Schedule metrics and head-to-head comparison helpers.
+
+Small, dependency-light utilities the benchmarks and examples share:
+peak/average speeds, acceptance statistics, and empirical competitive
+ratios against an exact optimum or a dual lower bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..model.schedule import Schedule
+
+__all__ = ["ScheduleMetrics", "schedule_metrics", "empirical_ratio"]
+
+
+@dataclass(frozen=True)
+class ScheduleMetrics:
+    """Summary statistics of one schedule."""
+
+    cost: float
+    energy: float
+    lost_value: float
+    accepted: int
+    rejected: int
+    peak_speed: float
+    mean_busy_speed: float
+
+    def row(self) -> str:
+        """One-line fixed-width rendering for benchmark tables."""
+        return (
+            f"cost={self.cost:>10.4f} energy={self.energy:>10.4f} "
+            f"lost={self.lost_value:>8.4f} acc={self.accepted:>3d}/"
+            f"{self.accepted + self.rejected:<3d} peak={self.peak_speed:>7.3f}"
+        )
+
+
+def schedule_metrics(schedule: Schedule) -> ScheduleMetrics:
+    """Compute :class:`ScheduleMetrics` for any schedule."""
+    speeds = schedule.processor_speed_matrix()
+    lengths = schedule.grid.lengths
+    busy = speeds > 1e-12
+    if busy.any():
+        peak = float(speeds.max())
+        weights = np.broadcast_to(lengths, speeds.shape)[busy]
+        mean_busy = float(np.average(speeds[busy], weights=weights))
+    else:
+        peak = 0.0
+        mean_busy = 0.0
+    accepted = int(schedule.finished.sum())
+    return ScheduleMetrics(
+        cost=schedule.cost,
+        energy=schedule.energy,
+        lost_value=schedule.lost_value,
+        accepted=accepted,
+        rejected=schedule.instance.n - accepted,
+        peak_speed=peak,
+        mean_busy_speed=mean_busy,
+    )
+
+
+def empirical_ratio(cost: float, baseline: float) -> float:
+    """``cost / baseline`` with care for degenerate baselines.
+
+    Baselines at (numerical) zero with zero cost count as ratio 1; a
+    positive cost against a zero baseline is infinity.
+    """
+    if baseline <= 1e-15:
+        return 1.0 if cost <= 1e-15 else float("inf")
+    return cost / baseline

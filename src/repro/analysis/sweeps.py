@@ -1,0 +1,232 @@
+"""Reusable experiment sweeps over instance families and parameters.
+
+The benchmarks' one-off loops share a common shape: run an algorithm
+across a parameter grid, collect per-cell summaries, render a table.
+This module provides that shape as a small library so that notebooks,
+examples, and downstream users can define new experiments in a few lines
+instead of copying harness code.
+
+Everything is deterministic given the seeds; cells are independent, so a
+sweep is trivially parallelizable by the caller if ever needed (the
+default sizes run in seconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..core.pd import run_pd
+from ..core.simulator import run_algorithm
+from ..errors import InvalidParameterError
+from ..model.job import Instance
+from .certificates import dual_certificate
+
+__all__ = [
+    "SweepCell",
+    "ratio_sweep",
+    "acceptance_curve",
+    "processor_scaling_curve",
+    "menu_granularity_curve",
+    "augmentation_curve",
+    "format_cells",
+]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One cell of a sweep: parameters plus aggregated measurements."""
+
+    params: dict
+    mean_cost: float
+    worst_certified_ratio: float
+    mean_acceptance: float
+    runs: int
+
+    def row(self) -> str:
+        keys = " ".join(f"{k}={v!r}" for k, v in self.params.items())
+        return (
+            f"{keys:<32} cost={self.mean_cost:>12.4f} "
+            f"worst_ratio={self.worst_certified_ratio:>8.3f} "
+            f"acc={100 * self.mean_acceptance:>5.1f}%"
+        )
+
+
+def ratio_sweep(
+    family: Callable[..., Instance],
+    *,
+    alphas: Sequence[float],
+    ms: Sequence[int],
+    n: int = 20,
+    seeds: Iterable[int] = range(3),
+    **family_kwargs,
+) -> list[SweepCell]:
+    """PD certificate ratios over an (alpha, m) grid for one family.
+
+    ``family`` must accept ``(n, m=..., alpha=..., seed=...)`` — all
+    generators in :mod:`repro.workloads` do.
+    """
+    seeds = list(seeds)
+    if not seeds:
+        raise InvalidParameterError("need at least one seed")
+    cells: list[SweepCell] = []
+    for alpha in alphas:
+        for m in ms:
+            costs, ratios, accs = [], [], []
+            for seed in seeds:
+                inst = family(n, m=m, alpha=alpha, seed=seed, **family_kwargs)
+                result = run_pd(inst)
+                cert = dual_certificate(result)
+                costs.append(cert.cost)
+                ratios.append(cert.ratio)
+                accs.append(float(result.accepted_mask.mean()))
+            cells.append(
+                SweepCell(
+                    params={"alpha": alpha, "m": m},
+                    mean_cost=float(np.mean(costs)),
+                    worst_certified_ratio=float(np.max(ratios)),
+                    mean_acceptance=float(np.mean(accs)),
+                    runs=len(seeds),
+                )
+            )
+    return cells
+
+
+def acceptance_curve(
+    family: Callable[..., Instance],
+    *,
+    value_multipliers: Sequence[float],
+    n: int = 20,
+    m: int = 1,
+    alpha: float = 3.0,
+    seeds: Iterable[int] = range(3),
+    **family_kwargs,
+) -> list[SweepCell]:
+    """Acceptance rate as job values scale up — the admission S-curve.
+
+    At multiplier → 0 everything is rejected; at → ∞ everything is
+    accepted; the transition region is where the rejection policy earns
+    its competitive ratio.
+    """
+    seeds = list(seeds)
+    cells: list[SweepCell] = []
+    for mult in value_multipliers:
+        costs, ratios, accs = [], [], []
+        for seed in seeds:
+            base = family(n, m=m, alpha=alpha, seed=seed, **family_kwargs)
+            inst = base.with_values([j.value * mult for j in base.jobs])
+            result = run_pd(inst)
+            cert = dual_certificate(result)
+            costs.append(cert.cost)
+            ratios.append(cert.ratio)
+            accs.append(float(result.accepted_mask.mean()))
+        cells.append(
+            SweepCell(
+                params={"value_x": mult},
+                mean_cost=float(np.mean(costs)),
+                worst_certified_ratio=float(np.max(ratios)),
+                mean_acceptance=float(np.mean(accs)),
+                runs=len(seeds),
+            )
+        )
+    return cells
+
+
+def processor_scaling_curve(
+    instance: Instance,
+    *,
+    ms: Sequence[int],
+    algorithm: str = "pd",
+) -> list[SweepCell]:
+    """One fixed job set re-run across machine sizes."""
+    cells: list[SweepCell] = []
+    for m in ms:
+        inst = instance.with_machine(m=m)
+        outcome = run_algorithm(algorithm, inst)
+        if algorithm == "pd":
+            ratio = dual_certificate(outcome.raw).ratio  # type: ignore[arg-type]
+        else:
+            ratio = float("nan")
+        cells.append(
+            SweepCell(
+                params={"m": m, "algorithm": algorithm},
+                mean_cost=outcome.cost,
+                worst_certified_ratio=ratio,
+                mean_acceptance=float(outcome.schedule.finished.mean()),
+                runs=1,
+            )
+        )
+    return cells
+
+
+def format_cells(cells: Sequence[SweepCell], title: str = "") -> str:
+    """Render cells as a plain-text table."""
+    lines = [title] if title else []
+    lines.extend(cell.row() for cell in cells)
+    return "\n".join(lines)
+
+
+def menu_granularity_curve(
+    family: Callable[..., Instance],
+    *,
+    level_counts: Sequence[int],
+    n: int = 15,
+    m: int = 1,
+    alpha: float = 3.0,
+    seeds: Sequence[int] = (0, 1, 2),
+) -> list[tuple[int, float, float]]:
+    """E11 as a library call: worst discretization overhead per menu size.
+
+    For each level count, runs PD on every (family, seed) instance,
+    builds the covering geometric menu, rounds, and records the worst
+    measured overhead together with the analytic envelope bound.
+
+    Returns ``(levels, worst_overhead, envelope_bound)`` rows, both
+    ratios ``>= 1`` and the measured one never above the bound — the
+    invariant the E11 bench asserts, available here for custom families.
+    """
+    from ..discrete import (
+        discretize_schedule,
+        menu_covering_schedule,
+        worst_overhead_factor,
+    )
+
+    if not level_counts:
+        raise InvalidParameterError("need at least one level count")
+    results = [run_pd(family(n, m=m, alpha=alpha, seed=s)) for s in seeds]
+    rows: list[tuple[int, float, float]] = []
+    for count in level_counts:
+        worst = 1.0
+        bound = 1.0
+        for result in results:
+            menu = menu_covering_schedule(result, count)
+            worst = max(
+                worst, discretize_schedule(result.schedule, menu).overhead
+            )
+            bound = max(bound, worst_overhead_factor(menu, alpha))
+        rows.append((int(count), worst, bound))
+    return rows
+
+
+def augmentation_curve(
+    instance: Instance,
+    *,
+    epsilons: Sequence[float],
+) -> list[tuple[float, float, float]]:
+    """E12 as a library call: profit under growing speed augmentation.
+
+    Returns ``(epsilon, profit, energy)`` rows for the given instance.
+    Profit is non-decreasing in epsilon whenever the acceptance set
+    stabilizes (more speed never hurts a fixed acceptance set).
+    """
+    from ..profit import run_pd_augmented
+
+    if not epsilons:
+        raise InvalidParameterError("need at least one epsilon")
+    rows: list[tuple[float, float, float]] = []
+    for eps in epsilons:
+        out = run_pd_augmented(instance, float(eps))
+        rows.append((float(eps), out.profit.profit, out.energy))
+    return rows

@@ -1,0 +1,122 @@
+"""Job traces (Section 4.2) and the speed bounds of Proposition 7.
+
+The analysis accounts the energy the optimal infeasible solution invests
+in a job to energy PD *actually* spends during the job's **trace**: a set
+of (interval, processor-rank) pairs. In each atomic interval the
+contributing jobs finished by PD occupy the fastest processor ranks in
+decreasing ``s_hat`` order; the unfinished contributors take the next
+ranks. Traces are pairwise disjoint by construction, so the traced
+energies sum to at most PD's total energy — one of the checks the tests
+perform.
+
+Proposition 7 lower-bounds the speed PD's final schedule runs at on the
+rank assigned to a job: at least the job's planned speed ``s~_j`` when PD
+finished the job, and at least ``s~_j - x̌_{jk} w_j / l_k`` when it did
+not. Both bounds are verified numerically by the property tests; they are
+the load-bearing steps of Lemmas 9 and 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.pd import PDResult
+from ..types import FloatArray
+from .certificates import DualCertificate, dual_certificate
+
+__all__ = ["TraceReport", "build_traces", "check_proposition7"]
+
+
+@dataclass(frozen=True)
+class TraceReport:
+    """Traces of all jobs plus PD energy measured along them.
+
+    Attributes
+    ----------
+    trace:
+        ``trace[j]`` is the tuple of ``(interval k, rank i)`` pairs of job
+        ``j`` (ranks are 0-based: rank 0 = fastest processor).
+    e_pd:
+        ``e_pd[j]`` is PD's energy on the traced (interval, rank) slots.
+    speeds:
+        The full ``(m, N)`` rank-speed matrix of PD's final schedule.
+    """
+
+    trace: tuple[tuple[tuple[int, int], ...], ...]
+    e_pd: FloatArray
+    speeds: FloatArray
+
+    @property
+    def total_traced_energy(self) -> float:
+        return float(self.e_pd.sum())
+
+
+def build_traces(
+    result: PDResult, certificate: DualCertificate | None = None
+) -> TraceReport:
+    """Construct the disjoint traces of Section 4.2 for a PD run."""
+    cert = certificate or dual_certificate(result)
+    schedule = result.schedule
+    instance = schedule.instance
+    grid = schedule.grid
+    alpha = instance.alpha
+    finished = schedule.finished
+    s_hat = cert.s_hat
+
+    speeds = schedule.processor_speed_matrix()  # (m, N), descending rows
+    lengths = grid.lengths
+
+    slots: list[list[tuple[int, int]]] = [[] for _ in range(instance.n)]
+    e_pd = np.zeros(instance.n)
+    for k, members in enumerate(cert.contributors):
+        fin = [j for j in members if finished[j]]
+        unf = [j for j in members if not finished[j]]
+        # Members are already sorted by s_hat descending (ties by id).
+        ordered = fin + unf
+        for rank, j in enumerate(ordered):
+            slots[j].append((k, rank))
+            e_pd[j] += float(lengths[k]) * float(speeds[rank, k]) ** alpha
+
+    return TraceReport(
+        trace=tuple(tuple(t) for t in slots),
+        e_pd=e_pd,
+        speeds=speeds,
+    )
+
+
+def check_proposition7(
+    result: PDResult,
+    report: TraceReport | None = None,
+    *,
+    rtol: float = 1e-6,
+) -> list[str]:
+    """Verify Proposition 7's speed bounds; return violation messages.
+
+    An empty list means every traced slot satisfies its bound. Violations
+    are returned (not raised) so tests can show all of them at once.
+    """
+    rep = report or build_traces(result)
+    schedule = result.schedule
+    instance = schedule.instance
+    lengths = schedule.grid.lengths
+    finished = schedule.finished
+    problems: list[str] = []
+    for j in range(instance.n):
+        s_tilde = result.decisions[j].planned_speed
+        for k, rank in rep.trace[j]:
+            s_ik = float(rep.speeds[rank, k])
+            if finished[j]:
+                bound = s_tilde
+                label = "7a"
+            else:
+                xw = float(result.planned_loads[j, k])
+                bound = s_tilde - xw / float(lengths[k])
+                label = "7b"
+            if s_ik < bound * (1.0 - rtol) - 1e-9:
+                problems.append(
+                    f"Prop {label} violated for job {j} at interval {k}, rank "
+                    f"{rank}: speed {s_ik:.9g} < bound {bound:.9g}"
+                )
+    return problems

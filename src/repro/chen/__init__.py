@@ -1,0 +1,50 @@
+"""Chen et al.'s energy-minimal per-interval multiprocessor scheduler.
+
+This subpackage is the substrate beneath both the primal-dual algorithm
+(which prices work against the marginal energy of these schedules) and the
+offline convex program (whose objective sums the per-interval energies).
+
+Public surface:
+
+* :func:`partition_loads` / :class:`IntervalPartition` — the dedicated /
+  pool split of Equation (5).
+* :func:`interval_energy` / :func:`interval_energy_gradient` — the convex
+  energy function ``P_k`` of Equation (6) and its gradient (Prop. 1).
+* :func:`job_speeds`, :func:`pool_level`, :func:`added_job_speed`,
+  :func:`max_load_at_speed`, :class:`SortedLoads` — marginal-speed
+  queries used by the water-filling inner loop.
+* :func:`schedule_interval` / :class:`IntervalSchedule`,
+  :func:`mcnaughton_layout`, :class:`Segment` — explicit realizations.
+"""
+
+from .interval_power import (
+    SortedLoads,
+    added_job_speed,
+    interval_energy,
+    interval_energy_from_partition,
+    interval_energy_gradient,
+    job_speeds,
+    max_load_at_speed,
+    pool_level,
+)
+from .mcnaughton import Segment, mcnaughton_layout
+from .partition import IntervalPartition, partition_loads, partition_loads_reference
+from .scheduler import IntervalSchedule, schedule_interval
+
+__all__ = [
+    "IntervalPartition",
+    "partition_loads",
+    "partition_loads_reference",
+    "interval_energy",
+    "interval_energy_from_partition",
+    "interval_energy_gradient",
+    "job_speeds",
+    "pool_level",
+    "added_job_speed",
+    "max_load_at_speed",
+    "SortedLoads",
+    "Segment",
+    "mcnaughton_layout",
+    "IntervalSchedule",
+    "schedule_interval",
+]

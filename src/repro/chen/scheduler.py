@@ -1,0 +1,169 @@
+"""Facade: build an explicit per-interval schedule from a load vector.
+
+Combines the dedication scan (:mod:`repro.chen.partition`) with
+McNaughton's wrap-around layout (:mod:`repro.chen.mcnaughton`) to turn a
+per-job load vector for one atomic interval into concrete
+``(job, processor, start, end, speed)`` segments whose energy equals
+``P_k`` (Equation (6)) exactly.
+
+This is the "realization" step the paper applies to the primal variables
+``x_{jk}`` after the primal-dual algorithm fixes them; the same routine
+realizes the optimal-infeasible ``(x̂, ŷ)``-schedule in the analysis
+package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import InfeasibleScheduleError
+from ..model.power import PolynomialPower
+from ..types import FloatArray
+from .interval_power import interval_energy_from_partition
+from .mcnaughton import Segment, mcnaughton_layout
+from .partition import IntervalPartition, partition_loads
+
+__all__ = ["IntervalSchedule", "schedule_interval"]
+
+_LOAD_EPS = 1e-15
+
+
+@dataclass(frozen=True)
+class IntervalSchedule:
+    """The realized schedule of one atomic interval.
+
+    Attributes
+    ----------
+    start, end:
+        Absolute interval boundaries.
+    partition:
+        The dedicated/pool structure used.
+    segments:
+        Concrete executions; disjoint per processor and per job.
+    energy:
+        Total energy over the interval, equal to ``P_k`` of the loads.
+    """
+
+    start: float
+    end: float
+    partition: IntervalPartition
+    segments: tuple[Segment, ...]
+    energy: float
+
+    @property
+    def length(self) -> float:
+        return self.end - self.start
+
+    def work_by_job(self) -> dict[int, float]:
+        """Total work processed per job id over the interval."""
+        acc: dict[int, float] = {}
+        for seg in self.segments:
+            acc[seg.job] = acc.get(seg.job, 0.0) + seg.work
+        return acc
+
+    def busy_processors(self) -> int:
+        """Number of processors that run anything during the interval."""
+        return len({seg.processor for seg in self.segments})
+
+    def processor_speed_profile(self, processor: int) -> list[tuple[float, float, float]]:
+        """Sorted ``(start, end, speed)`` runs of one processor (gaps = idle)."""
+        runs = [
+            (seg.start, seg.end, seg.speed)
+            for seg in self.segments
+            if seg.processor == processor
+        ]
+        runs.sort()
+        return runs
+
+
+def schedule_interval(
+    loads: FloatArray | Sequence[float],
+    *,
+    job_ids: Sequence[int] | None = None,
+    m: int,
+    start: float,
+    end: float,
+    power: PolynomialPower,
+) -> IntervalSchedule:
+    """Realize Chen et al.'s schedule for one atomic interval.
+
+    Parameters
+    ----------
+    loads:
+        Per-job workloads assigned to the interval. Zero entries are
+        skipped entirely (they emit no segments).
+    job_ids:
+        Identifiers parallel to ``loads``; defaults to positions.
+    m:
+        Processor count.
+    start, end:
+        Absolute interval boundaries, ``end > start``.
+    power:
+        Power function used for the energy figure.
+
+    Raises
+    ------
+    InfeasibleScheduleError
+        If a dedicated job would need a speed so high that its duration
+        exceeds the interval — impossible by construction, so a violation
+        indicates corrupted inputs.
+    """
+    arr = np.ascontiguousarray(loads, dtype=np.float64)
+    if end <= start:
+        raise InfeasibleScheduleError(f"empty interval [{start}, {end})")
+    ids = list(range(arr.size)) if job_ids is None else list(job_ids)
+    if len(ids) != arr.size:
+        raise InfeasibleScheduleError("job_ids must align with loads")
+    length = end - start
+
+    part = partition_loads(arr, m)
+    segments: list[Segment] = []
+
+    # Dedicated jobs: full interval, own processor, minimal feasible speed.
+    d = part.num_dedicated
+    for rank in range(d):
+        job = ids[int(part.order[rank])]
+        load = float(part.sorted_loads[rank])
+        segments.append(
+            Segment(
+                job=job,
+                processor=rank,
+                start=start,
+                end=end,
+                speed=load / length,
+            )
+        )
+
+    # Pool jobs: wrap-around at the common pool speed.
+    pool_rank_ids = [
+        ids[int(idx)]
+        for idx, load in zip(part.order[d:], part.sorted_loads[d:])
+        if load > _LOAD_EPS
+    ]
+    pool_loads = [float(v) for v in part.sorted_loads[d:] if v > _LOAD_EPS]
+    if pool_loads:
+        pool_speed = part.pool_load_per_processor / length
+        durations = [load / pool_speed for load in pool_loads]
+        segments.extend(
+            mcnaughton_layout(
+                pool_rank_ids,
+                durations,
+                start=start,
+                length=length,
+                first_processor=d,
+                num_processors=part.num_pool_processors,
+                speed=pool_speed,
+            )
+        )
+
+    energy = interval_energy_from_partition(part, length, power)
+    return IntervalSchedule(
+        start=start,
+        end=end,
+        partition=part,
+        segments=tuple(segments),
+        energy=energy,
+    )

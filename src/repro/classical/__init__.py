@@ -1,0 +1,36 @@
+"""Classical speed-scaling algorithms (the lineage PD descends from).
+
+* :func:`yds` — exact offline optimum on one processor (Yao–Demers–
+  Shenker); the library's ground-truth oracle.
+* :func:`run_oa` / :func:`run_oa_multiprocessor` — Optimal Available,
+  ``alpha**alpha``-competitive; the algorithm PD structurally resembles.
+* :func:`run_avr` — Average Rate density heuristic.
+* :func:`run_bkp` — Bansal–Kimbrel–Pruhs mirror algorithm.
+* :func:`run_qoa` — OA sped up by ``q = 2 - 1/alpha``.
+* :class:`IntervalSet` / :func:`edf_execute` — shared timeline machinery.
+"""
+
+from .avr import run_avr
+from .bkp import bkp_speed, run_bkp
+from .execution import schedule_from_segments
+from .oa import OAResult, oa_plan, run_oa, run_oa_multiprocessor
+from .qoa import default_q, run_qoa
+from .timeline import IntervalSet, edf_execute
+from .yds import YdsResult, yds
+
+__all__ = [
+    "yds",
+    "YdsResult",
+    "run_oa",
+    "run_oa_multiprocessor",
+    "oa_plan",
+    "OAResult",
+    "run_avr",
+    "run_bkp",
+    "bkp_speed",
+    "run_qoa",
+    "default_q",
+    "IntervalSet",
+    "edf_execute",
+    "schedule_from_segments",
+]

@@ -1,0 +1,75 @@
+"""Turning time-resolved executions into :class:`Schedule` objects.
+
+Online executors (OA, AVR, BKP, qOA, CLL, multiprocessor OA) naturally
+produce chronological ``(job, start, end, speed)`` segments, possibly with
+speed changes at times that are not instance event points. To express the
+result as a :class:`~repro.model.schedule.Schedule` *without distorting
+its energy*, we refine the instance grid with every segment boundary: in
+each refined interval every job then runs at one constant speed on one
+processor, and the minimal-energy value ``P_k`` of the per-interval loads
+coincides with the energy actually spent (at most ``m`` jobs occupy an
+interval, in which case Chen's partition dedicates all of them).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import InfeasibleScheduleError
+from ..model.intervals import Grid
+from ..model.job import Instance
+from ..model.schedule import Schedule
+from ..types import FloatArray
+
+__all__ = ["schedule_from_segments"]
+
+_EPS = 1e-12
+
+
+def schedule_from_segments(
+    instance: Instance,
+    segments: Sequence[tuple[int, float, float, float]],
+    finished: Sequence[bool] | np.ndarray,
+) -> Schedule:
+    """Build a schedule whose grid is refined by all segment boundaries.
+
+    Parameters
+    ----------
+    instance:
+        The instance the segments serve.
+    segments:
+        ``(job, start, end, speed)`` executions. Segments of the same job
+        must not overlap in time (not checked here — the validator in
+        :mod:`repro.model.validation` covers realizations).
+    finished:
+        The executor's claim of which jobs completed.
+    """
+    points = set(instance.event_times().tolist())
+    for _, start, end, _ in segments:
+        points.add(float(start))
+        points.add(float(end))
+    grid = Grid.from_points(points)
+
+    loads = np.zeros((instance.n, grid.size))
+    bounds = grid.boundaries
+    for job, start, end, speed in segments:
+        if end <= start + _EPS:
+            continue
+        if not (0 <= job < instance.n):
+            raise InfeasibleScheduleError(f"segment for unknown job {job}")
+        k0 = grid.locate(start)
+        k1 = grid.locate(end - _EPS)
+        for k in range(k0, k1 + 1):
+            lo = max(start, float(bounds[k]))
+            hi = min(end, float(bounds[k + 1]))
+            if hi > lo + _EPS:
+                loads[job, k] += (hi - lo) * speed
+
+    return Schedule(
+        instance=instance,
+        grid=grid,
+        loads=loads,
+        finished=np.ascontiguousarray(finished, dtype=bool),
+    )

@@ -1,0 +1,210 @@
+"""Optimal Available (OA) — the classical online speed-scaling algorithm.
+
+OA (Yao, Demers, Shenker 1995) maintains, at every moment, the schedule
+that would be optimal if no further jobs arrived: whenever a job arrives,
+it recomputes the YDS-optimal plan for all *remaining* work (released
+jobs' unfinished portions, usable from "now" on) and follows that plan
+until the next arrival. Bansal, Kimbrel & Pruhs proved OA is exactly
+``alpha**alpha``-competitive — the same constant the paper's PD achieves
+*including* job values and multiple processors.
+
+Besides the classic single-processor :func:`run_oa`, the module provides
+:func:`oa_plan`, the one-shot planning step (also the building block of
+the Chan–Lam–Li profitable scheduler), and a multiprocessor variant
+:func:`run_oa_multiprocessor` that substitutes our convex solver for the
+Albers–Antoniadis–Greiner exact offline algorithm (see DESIGN.md,
+"Substitutions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from ..model.job import Instance, Job
+from ..model.schedule import Schedule
+from .execution import schedule_from_segments
+from .yds import YdsResult, yds
+
+__all__ = ["OAResult", "oa_plan", "run_oa", "run_oa_multiprocessor"]
+
+_EPS = 1e-12
+_WORK_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class OAResult:
+    """An OA run: the realized schedule plus the executed segments."""
+
+    schedule: Schedule
+    segments: tuple[tuple[int, float, float, float], ...]
+
+    @property
+    def energy(self) -> float:
+        return self.schedule.energy
+
+    @property
+    def cost(self) -> float:
+        return self.schedule.cost
+
+
+def oa_plan(
+    *,
+    now: float,
+    job_ids: list[int],
+    remaining: dict[int, float],
+    deadlines: dict[int, float],
+    alpha: float,
+) -> YdsResult:
+    """The plan OA commits to at time ``now``: YDS on the remaining work.
+
+    Jobs are re-released at ``now`` (their original releases are in the
+    past) and keep their deadlines; values are irrelevant at this layer.
+    """
+    alive = [
+        j
+        for j in job_ids
+        if remaining.get(j, 0.0) > _WORK_TOL and deadlines[j] > now + _EPS
+    ]
+    if not alive:
+        raise InvalidParameterError("oa_plan called with no remaining work")
+    sub = Instance(
+        tuple(
+            Job(
+                release=now,
+                deadline=deadlines[j],
+                workload=remaining[j],
+                value=1.0,
+                name=f"plan-{j}",
+            )
+            for j in alive
+        ),
+        m=1,
+        alpha=alpha,
+    )
+    result = yds(sub)
+    # Re-key the plan's internal ids (positions in `sub`) to caller ids.
+    remap = {i: alive[i] for i in range(len(alive))}
+    segments = tuple(
+        (remap[j], a, b, s) for (j, a, b, s) in result.segments
+    )
+    speeds = np.zeros(max(job_ids) + 1)
+    for i, j in remap.items():
+        speeds[j] = result.job_speeds[i]
+    return YdsResult(
+        schedule=result.schedule,
+        job_speeds=speeds,
+        groups=result.groups,
+        segments=segments,
+    )
+
+
+def run_oa(instance: Instance) -> OAResult:
+    """Simulate OA on a single-processor instance (all jobs are finished).
+
+    Job values are ignored — OA predates the profitable model. The
+    simulation advances from arrival epoch to arrival epoch, executing the
+    current plan's EDF segments in between.
+    """
+    if instance.m != 1:
+        raise InvalidParameterError(
+            f"run_oa is single-processor; instance has m={instance.m}. "
+            "Use run_oa_multiprocessor for m > 1."
+        )
+    ordered = instance.sorted_by_release()
+    n = ordered.n
+    releases = ordered.releases
+    epochs = sorted(set(releases.tolist()))
+    horizon_end = max(j.deadline for j in ordered.jobs)
+
+    remaining = {j: ordered[j].workload for j in range(n)}
+    deadlines = {j: ordered[j].deadline for j in range(n)}
+    executed: list[tuple[int, float, float, float]] = []
+
+    for idx, t in enumerate(epochs):
+        t_next = epochs[idx + 1] if idx + 1 < len(epochs) else horizon_end
+        known = [j for j in range(n) if releases[j] <= t + _EPS]
+        if not any(remaining[j] > _WORK_TOL for j in known):
+            continue
+        plan = oa_plan(
+            now=t,
+            job_ids=known,
+            remaining=remaining,
+            deadlines=deadlines,
+            alpha=ordered.alpha,
+        )
+        for job, a, b, speed in plan.segments:
+            if a >= t_next - _EPS:
+                break
+            hi = min(b, t_next)
+            if hi <= a + _EPS:
+                continue
+            executed.append((job, a, hi, speed))
+            remaining[job] -= (hi - a) * speed
+            if remaining[job] < 0.0:
+                remaining[job] = 0.0
+
+    schedule = schedule_from_segments(
+        ordered, executed, np.ones(n, dtype=bool)
+    )
+    return OAResult(schedule=schedule, segments=tuple(executed))
+
+
+def run_oa_multiprocessor(instance: Instance) -> OAResult:
+    """OA on ``m`` processors via the numeric convex optimum.
+
+    At each arrival epoch the remaining work is re-optimized with the
+    block-coordinate convex solver (our stand-in for the exact
+    Albers–Antoniadis–Greiner offline algorithm) and the plan's Chen/
+    McNaughton realization is executed until the next arrival. Exact on
+    ``m == 1`` up to solver tolerance; used by the multiprocessor
+    experiments as the natural OA generalization the paper compares
+    against conceptually.
+    """
+    from ..offline.convex import solve_min_energy  # lazy: higher layer
+
+    ordered = instance.sorted_by_release()
+    n = ordered.n
+    releases = ordered.releases
+    epochs = sorted(set(releases.tolist()))
+    horizon_end = max(j.deadline for j in ordered.jobs)
+
+    remaining = {j: ordered[j].workload for j in range(n)}
+    executed: list[tuple[int, float, float, float]] = []
+
+    for idx, t in enumerate(epochs):
+        t_next = epochs[idx + 1] if idx + 1 < len(epochs) else horizon_end
+        alive = [
+            j
+            for j in range(n)
+            if releases[j] <= t + _EPS
+            and remaining[j] > _WORK_TOL
+            and ordered[j].deadline > t + _EPS
+        ]
+        if not alive:
+            continue
+        sub = Instance(
+            tuple(
+                Job(t, ordered[j].deadline, remaining[j], 1.0) for j in alive
+            ),
+            m=ordered.m,
+            alpha=ordered.alpha,
+        )
+        plan = solve_min_energy(sub)
+        for interval_schedule in plan.schedule.realize():
+            for seg in interval_schedule.segments:
+                if seg.start >= t_next - _EPS:
+                    continue
+                hi = min(seg.end, t_next)
+                if hi <= seg.start + _EPS:
+                    continue
+                job = alive[seg.job]
+                executed.append((job, seg.start, hi, seg.speed))
+                remaining[job] -= (hi - seg.start) * seg.speed
+                if remaining[job] < 0.0:
+                    remaining[job] = 0.0
+
+    schedule = schedule_from_segments(ordered, executed, np.ones(n, dtype=bool))
+    return OAResult(schedule=schedule, segments=tuple(executed))

@@ -1,0 +1,290 @@
+"""The paper's online primal-dual algorithm **PD** (Listing 1).
+
+PD processes jobs in arrival order. For each new job it prices the job's
+workload against the atomic intervals of its window using the marginal
+energy of Chen et al.'s schedules (water-filling; see
+:mod:`repro.core.waterfill`), then either
+
+* **accepts**: fixes the per-interval assignment at the clearing price
+  ``lambda_j < v_j`` (the assignment of *earlier* jobs is never moved —
+  the structural difference from Optimal Available highlighted by the
+  paper's Figure 3), or
+* **rejects**: resets the tentative assignment and pays the value
+  (``lambda_j = v_j``).
+
+With the parameter ``delta = alpha**(1 - alpha)`` the resulting schedule
+is ``alpha**alpha``-competitive on any number of processors (Theorem 3),
+and every run carries a machine-checkable certificate: the dual value
+``g(lambda~)`` computed by :mod:`repro.analysis.certificates` satisfies
+``cost(PD) <= alpha**alpha * g(lambda~) <= alpha**alpha * cost(OPT)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..chen.interval_power import SortedLoads
+from ..errors import InvalidParameterError
+from ..model.intervals import Grid
+from ..model.job import Instance, Job
+from ..model.schedule import Schedule
+from ..types import FloatArray
+from .waterfill import WaterfillOutcome, waterfill_job
+
+__all__ = ["PDResult", "JobDecision", "PDScheduler", "run_pd"]
+
+
+@dataclass(frozen=True)
+class JobDecision:
+    """Per-job record of what PD decided at arrival time.
+
+    Attributes
+    ----------
+    job_id:
+        Index of the job in the (arrival-ordered) instance.
+    accepted:
+        Whether PD finished the job (``y~_j``).
+    lam:
+        The dual variable ``lambda~_j``.
+    planned_speed:
+        The speed ``s~_j`` the job was priced at just before ``lambda_j``
+        got fixed (Equation (10)).
+    planned_loads:
+        For rejected jobs: the loads PD *planned* just before rejecting
+        (the paper's ``x̌``), keyed by the grid the job saw at arrival —
+        re-expressed on the final grid, see :class:`PDResult`. Empty for
+        accepted jobs (their final loads live in the schedule).
+    """
+
+    job_id: int
+    accepted: bool
+    lam: float
+    planned_speed: float
+    planned_work: float
+
+
+@dataclass(frozen=True)
+class PDResult:
+    """Everything a PD run produces.
+
+    ``schedule`` is the realized schedule; ``lambdas`` the dual vector
+    ``lambda~`` (in job-id order of ``schedule.instance``);
+    ``planned_loads`` holds, for every job, either its final loads
+    (accepted) or the loads planned just before rejection (``x̌``), both
+    on the final grid — the analysis package consumes these.
+    """
+
+    schedule: Schedule
+    decisions: tuple[JobDecision, ...]
+    lambdas: FloatArray
+    planned_loads: FloatArray
+    delta: float
+
+    @property
+    def cost(self) -> float:
+        return self.schedule.cost
+
+    @property
+    def accepted_mask(self) -> np.ndarray:
+        return self.schedule.finished
+
+    def summary(self) -> str:
+        """Human-readable run summary."""
+        alpha = self.schedule.instance.alpha
+        lines = [
+            self.schedule.summary(),
+            f"  delta = {self.delta:.6g} (optimal: {alpha ** (1 - alpha):.6g})",
+        ]
+        return "\n".join(lines)
+
+
+class PDScheduler:
+    """Stateful online scheduler implementing Listing 1.
+
+    Feed jobs in non-decreasing release order via :meth:`arrive`; read the
+    result off :meth:`finish`. The scheduler maintains the grid of atomic
+    intervals induced by the jobs seen so far and refines it on each
+    arrival, splitting frozen loads proportionally (the paper's
+    load-preserving refinement, Section 3).
+
+    Parameters
+    ----------
+    m, alpha:
+        Machine environment.
+    delta:
+        Aggressiveness parameter; defaults to the Theorem 3 optimum
+        ``alpha**(1 - alpha)`` (required explicitly when ``power``
+        overrides the polynomial — no optimal default is known there).
+    power:
+        Power function override for the water-filling marginals. The
+        paper's theory is for ``P(s) = s**alpha``; passing another convex
+        :class:`~repro.model.power.PowerFunction` runs the same greedy
+        primal-dual machinery in the generalized setting of
+        :mod:`repro.general` (Gupta–Krishnaswamy–Pruhs framework). The
+        ``alpha`` argument is then only used for result bookkeeping.
+    """
+
+    def __init__(
+        self,
+        *,
+        m: int,
+        alpha: float,
+        delta: float | None = None,
+        power=None,
+    ) -> None:
+        if m < 1:
+            raise InvalidParameterError(f"m must be >= 1, got {m}")
+        from ..model.power import PolynomialPower
+
+        self.m = m
+        if power is None:
+            self.power = PolynomialPower(alpha)
+            self.delta = (
+                float(delta) if delta is not None else self.power.optimal_delta
+            )
+        else:
+            self.power = power
+            if delta is None:
+                raise InvalidParameterError(
+                    "delta must be given explicitly with a custom power "
+                    "function (no Theorem 3 default applies)"
+                )
+            self.delta = float(delta)
+        self._alpha = float(alpha)
+        if self.delta <= 0.0:
+            raise InvalidParameterError(f"delta must be > 0, got {self.delta}")
+
+        self._jobs: list[Job] = []
+        self._grid: Grid | None = None
+        self._loads: FloatArray = np.zeros((0, 0))
+        self._planned: FloatArray = np.zeros((0, 0))
+        self._decisions: list[JobDecision] = []
+        self._last_release = -np.inf
+
+    # ------------------------------------------------------------------
+    # Online interface
+    # ------------------------------------------------------------------
+    def arrive(self, job: Job) -> JobDecision:
+        """Process the arrival of ``job`` and commit PD's decision."""
+        if job.release < self._last_release - 1e-12:
+            raise InvalidParameterError(
+                f"jobs must arrive in release order: got release {job.release} "
+                f"after {self._last_release}"
+            )
+        self._last_release = max(self._last_release, job.release)
+        job_id = len(self._jobs)
+        self._jobs.append(job)
+
+        self._refine_grid(job)
+        assert self._grid is not None
+        ks = list(self._grid.covering(job.release, job.deadline))
+        lengths = self._grid.lengths
+
+        caches = [
+            SortedLoads(self._loads[:, k], self.m, float(lengths[k])) for k in ks
+        ]
+        outcome = waterfill_job(
+            caches,
+            workload=job.workload,
+            value=job.value,
+            delta=self.delta,
+            power=self.power,
+        )
+
+        # Grow the matrices by one row for the new job.
+        n_new = job_id + 1
+        grown = np.zeros((n_new, self._grid.size))
+        grown[:job_id] = self._loads
+        self._loads = grown
+        grown_p = np.zeros((n_new, self._grid.size))
+        grown_p[:job_id] = self._planned
+        self._planned = grown_p
+
+        if outcome.accepted:
+            self._loads[job_id, ks] = outcome.loads
+            self._planned[job_id, ks] = outcome.loads
+        else:
+            # Line 12 of Listing 1: reset x_{jk} := 0 but remember x̌.
+            self._planned[job_id, ks] = outcome.loads
+
+        decision = JobDecision(
+            job_id=job_id,
+            accepted=outcome.accepted,
+            lam=outcome.lam,
+            planned_speed=outcome.speed,
+            planned_work=outcome.planned_work,
+        )
+        self._decisions.append(decision)
+        return decision
+
+    def finish(self) -> PDResult:
+        """Assemble the final :class:`PDResult` after all arrivals."""
+        if not self._jobs:
+            raise InvalidParameterError("no jobs were processed")
+        assert self._grid is not None
+        instance = Instance(tuple(self._jobs), m=self.m, alpha=self._alpha)
+        finished = np.array([d.accepted for d in self._decisions], dtype=bool)
+        schedule = Schedule(
+            instance=instance,
+            grid=self._grid,
+            loads=self._loads.copy(),
+            finished=finished,
+        )
+        return PDResult(
+            schedule=schedule,
+            decisions=tuple(self._decisions),
+            lambdas=np.array([d.lam for d in self._decisions]),
+            planned_loads=self._planned.copy(),
+            delta=self.delta,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _refine_grid(self, job: Job) -> None:
+        """Insert the new job's window endpoints, splitting frozen loads."""
+        if self._grid is None:
+            self._grid = Grid.from_points([job.release, job.deadline])
+            self._loads = np.zeros((0, self._grid.size))
+            self._planned = np.zeros((0, self._grid.size))
+            return
+        refinement = self._grid.refine([job.release, job.deadline])
+        if refinement.grid.same_as(self._grid):
+            return
+        self._loads = _remap_rows(self._loads, refinement)
+        self._planned = _remap_rows(self._planned, refinement)
+        self._grid = refinement.grid
+
+
+def _remap_rows(matrix: FloatArray, refinement) -> FloatArray:
+    """Apply a grid refinement to every row of a per-interval matrix."""
+    if matrix.shape[0] == 0:
+        return np.zeros((0, refinement.grid.size))
+    return np.stack([refinement.split_row(row) for row in matrix])
+
+
+def run_pd(instance: Instance, *, delta: float | None = None) -> PDResult:
+    """Run PD on a full instance (jobs fed in arrival order).
+
+    This is the main entry point of the library. Jobs are sorted by
+    release time (deterministic tie-breaking); the returned result's
+    instance reflects that order.
+
+    Examples
+    --------
+    >>> from repro import Instance, run_pd
+    >>> inst = Instance.from_tuples(
+    ...     [(0.0, 1.0, 1.0, 0.001), (0.0, 2.0, 1.0, 10.0)], m=1, alpha=2.0
+    ... )
+    >>> result = run_pd(inst)  # jobs in arrival order: low-value job first
+    >>> [bool(a) for a in result.accepted_mask]
+    [False, True]
+    """
+    ordered = instance.sorted_by_release()
+    scheduler = PDScheduler(m=ordered.m, alpha=ordered.alpha, delta=delta)
+    for job in ordered.jobs:
+        scheduler.arrive(job)
+    return scheduler.finish()

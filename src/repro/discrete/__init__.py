@@ -1,0 +1,46 @@
+"""Discrete speed levels — the SpeedStep/PowerNow! substrate.
+
+The paper's introduction motivates speed scaling with real dynamic
+voltage/frequency technologies, which expose a *finite* menu of speeds
+rather than a continuum. This subpackage adapts the library to that
+setting:
+
+* :class:`SpeedSet` — a validated menu of levels with bracketing queries.
+* :class:`DiscreteEnvelopePower` — the piecewise-linear effective power
+  of a menu (the certified optimum for any fixed work assignment), plus
+  :func:`worst_overhead_factor` bounding the discretization premium.
+* :func:`discretize_schedule` — optimal two-adjacent-level emulation of
+  any continuous schedule, preserving work and feasibility exactly.
+* :func:`run_pd_discrete` — the end-to-end pipeline: screen
+  menu-infeasible jobs, run the paper's PD, degrade gracefully past the
+  top speed, round onto the menu.
+
+The E11 ablation (``benchmarks/bench_e11_discrete.py``) sweeps menu
+granularity and shows the measured overhead tracking the analytic
+envelope bound and vanishing as the menu refines.
+"""
+
+from .envelope import DiscreteEnvelopePower, envelope_energy, worst_overhead_factor
+from .pd_discrete import (
+    DiscretePDResult,
+    menu_covering_schedule,
+    menu_infeasible_mask,
+    run_pd_discrete,
+)
+from .rounding import DiscreteSchedule, discretize_schedule, discretize_segment
+from .speedset import Bracket, SpeedSet
+
+__all__ = [
+    "SpeedSet",
+    "Bracket",
+    "DiscreteEnvelopePower",
+    "envelope_energy",
+    "worst_overhead_factor",
+    "DiscreteSchedule",
+    "discretize_schedule",
+    "discretize_segment",
+    "DiscretePDResult",
+    "run_pd_discrete",
+    "menu_infeasible_mask",
+    "menu_covering_schedule",
+]

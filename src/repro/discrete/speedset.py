@@ -1,0 +1,235 @@
+"""Finite speed-level sets for discretely speed-scalable processors.
+
+The paper's motivation names Intel SpeedStep and AMD PowerNow!, which do
+not offer a continuum of speeds: a real processor exposes a finite menu
+``s_1 < s_2 < ... < s_L`` of frequency steps. This module provides the
+:class:`SpeedSet` value object the discrete substrate is built on —
+validated, sorted, deduplicated levels plus the bracketing and
+interpolation queries that the two-adjacent-level emulation theorem
+(see :mod:`repro.discrete.envelope`) needs.
+
+Construction helpers cover the grids used in practice and in the E11
+ablation: geometric grids (constant frequency ratio between steps, the
+common hardware design) and linear grids.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from ..types import FloatArray
+
+__all__ = ["SpeedSet", "Bracket"]
+
+#: Two levels closer than this (relatively) collapse into one.
+_LEVEL_REL_TOL = 1e-12
+
+
+@dataclass(frozen=True, slots=True)
+class Bracket:
+    """Adjacent levels surrounding a target speed, with the time split.
+
+    Running the fraction ``theta`` of a window at ``hi`` and ``1 - theta``
+    at ``lo`` yields average speed ``theta * hi + (1 - theta) * lo``.
+    For a target speed below the lowest level, ``lo`` is the idle state
+    (speed 0, power 0) and ``hi`` is the lowest level.
+    """
+
+    lo: float
+    hi: float
+    theta: float
+
+    def average(self) -> float:
+        """The emulated average speed ``theta*hi + (1-theta)*lo``."""
+        return self.theta * self.hi + (1.0 - self.theta) * self.lo
+
+
+@dataclass(frozen=True)
+class SpeedSet:
+    """An immutable, sorted menu of strictly positive speed levels.
+
+    Parameters
+    ----------
+    levels:
+        The available speeds. Any iterable of positive finite numbers;
+        duplicates (up to relative tolerance) are merged and the result
+        is sorted ascending.
+
+    Examples
+    --------
+    >>> s = SpeedSet([1.0, 2.0, 4.0])
+    >>> s.max_speed
+    4.0
+    >>> b = s.bracket(3.0)
+    >>> (b.lo, b.hi, round(b.theta, 12))
+    (2.0, 4.0, 0.5)
+    """
+
+    levels: tuple[float, ...]
+
+    def __init__(self, levels: Iterable[float]) -> None:
+        cleaned = sorted(float(s) for s in levels)
+        if not cleaned:
+            raise InvalidParameterError("a speed set needs at least one level")
+        for s in cleaned:
+            if not math.isfinite(s) or s <= 0.0:
+                raise InvalidParameterError(
+                    f"speed levels must be finite and > 0, got {s!r}"
+                )
+        merged: list[float] = [cleaned[0]]
+        for s in cleaned[1:]:
+            if s - merged[-1] > _LEVEL_REL_TOL * max(1.0, s):
+                merged.append(s)
+        object.__setattr__(self, "levels", tuple(merged))
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def geometric(cls, s_min: float, s_max: float, count: int) -> "SpeedSet":
+        """``count`` levels from ``s_min`` to ``s_max`` at a constant ratio.
+
+        This is the hardware-realistic grid (frequency steps multiply by a
+        constant factor) and the family swept by the E11 ablation.
+        """
+        if count < 1:
+            raise InvalidParameterError(f"count must be >= 1, got {count}")
+        if count == 1:
+            return cls([s_max])
+        if not (0.0 < s_min < s_max):
+            raise InvalidParameterError(
+                f"need 0 < s_min < s_max, got s_min={s_min}, s_max={s_max}"
+            )
+        return cls(np.geomspace(s_min, s_max, count).tolist())
+
+    @classmethod
+    def linear(cls, s_min: float, s_max: float, count: int) -> "SpeedSet":
+        """``count`` equally spaced levels from ``s_min`` to ``s_max``."""
+        if count < 1:
+            raise InvalidParameterError(f"count must be >= 1, got {count}")
+        if count == 1:
+            return cls([s_max])
+        if not (0.0 < s_min < s_max):
+            raise InvalidParameterError(
+                f"need 0 < s_min < s_max, got s_min={s_min}, s_max={s_max}"
+            )
+        return cls(np.linspace(s_min, s_max, count).tolist())
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return len(self.levels)
+
+    @property
+    def min_speed(self) -> float:
+        return self.levels[0]
+
+    @property
+    def max_speed(self) -> float:
+        return self.levels[-1]
+
+    @property
+    def max_ratio(self) -> float:
+        """Largest ratio between consecutive levels (1.0 for one level).
+
+        Controls the worst-case discretization overhead: the coarser the
+        menu (larger ratio), the more energy two-level emulation pays over
+        the continuous optimum.
+        """
+        if self.count == 1:
+            return 1.0
+        arr = np.asarray(self.levels)
+        return float(np.max(arr[1:] / arr[:-1]))
+
+    def as_array(self) -> FloatArray:
+        """The levels as a float64 array (ascending)."""
+        return np.asarray(self.levels, dtype=np.float64)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.levels)
+
+    def __len__(self) -> int:
+        return len(self.levels)
+
+    def __contains__(self, speed: object) -> bool:
+        if not isinstance(speed, (int, float)):
+            return False
+        return self.is_level(float(speed))
+
+    def is_level(self, speed: float, *, rel_tol: float = 1e-9) -> bool:
+        """Whether ``speed`` coincides with a menu level (or 0 = idle)."""
+        if speed <= 0.0:
+            return speed == 0.0
+        idx = int(np.searchsorted(self.as_array(), speed))
+        for j in (idx - 1, idx):
+            if 0 <= j < self.count and math.isclose(
+                self.levels[j], speed, rel_tol=rel_tol
+            ):
+                return True
+        return False
+
+    def bracket(self, speed: float) -> Bracket:
+        """Adjacent levels around ``speed`` and the emulation time split.
+
+        For ``speed`` between two levels the bracket is the unique
+        adjacent pair; below the lowest level it pairs idle (0) with the
+        lowest level; at an exact level ``theta = 1`` with ``lo = hi``.
+
+        Raises
+        ------
+        InvalidParameterError
+            If ``speed`` exceeds the top level — no discrete emulation can
+            average faster than the fastest step.
+        """
+        if speed < 0.0:
+            raise InvalidParameterError(f"speed must be >= 0, got {speed}")
+        if speed > self.max_speed * (1.0 + 1e-12):
+            raise InvalidParameterError(
+                f"speed {speed} exceeds the top level {self.max_speed}; "
+                "the instance is infeasible for this speed set"
+            )
+        speed = min(speed, self.max_speed)
+        if speed == 0.0:
+            return Bracket(lo=0.0, hi=0.0, theta=0.0)
+        arr = self.as_array()
+        idx = int(np.searchsorted(arr, speed))
+        if idx < self.count and math.isclose(arr[idx], speed, rel_tol=1e-15):
+            level = float(arr[idx])
+            return Bracket(lo=level, hi=level, theta=1.0)
+        lo = float(arr[idx - 1]) if idx > 0 else 0.0
+        hi = float(arr[min(idx, self.count - 1)])
+        if math.isclose(hi, lo):
+            return Bracket(lo=hi, hi=hi, theta=1.0)
+        theta = (speed - lo) / (hi - lo)
+        return Bracket(lo=lo, hi=hi, theta=min(max(theta, 0.0), 1.0))
+
+    def round_down(self, speed: float) -> float:
+        """The largest level ``<= speed`` (0.0 if below the lowest level)."""
+        if speed < self.min_speed:
+            return 0.0
+        arr = self.as_array()
+        idx = int(np.searchsorted(arr, speed * (1.0 + 1e-15), side="right"))
+        return float(arr[max(idx - 1, 0)])
+
+    def round_up(self, speed: float) -> float:
+        """The smallest level ``>= speed``.
+
+        Raises
+        ------
+        InvalidParameterError
+            If ``speed`` exceeds the top level.
+        """
+        if speed > self.max_speed * (1.0 + 1e-12):
+            raise InvalidParameterError(
+                f"speed {speed} exceeds the top level {self.max_speed}"
+            )
+        arr = self.as_array()
+        idx = int(np.searchsorted(arr, speed * (1.0 - 1e-15)))
+        return float(arr[min(idx, self.count - 1)])

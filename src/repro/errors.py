@@ -1,0 +1,79 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single base class. Subclasses distinguish between *input*
+problems (bad instances, bad parameters), *model* violations (infeasible
+schedules), and *numerical* failures (solvers that did not converge).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidJobError",
+    "InvalidInstanceError",
+    "InvalidParameterError",
+    "InfeasibleScheduleError",
+    "GridMismatchError",
+    "SolverError",
+    "ConvergenceError",
+    "CertificateError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by :mod:`repro`."""
+
+
+class InvalidJobError(ReproError, ValueError):
+    """A job's attributes are inconsistent (e.g. ``deadline <= release``)."""
+
+
+class InvalidInstanceError(ReproError, ValueError):
+    """A job set cannot form a valid problem instance."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """An algorithm parameter is out of its admissible range.
+
+    Examples: an energy exponent ``alpha <= 1``, a processor count
+    ``m < 1``, or a primal-dual aggressiveness ``delta <= 0``.
+    """
+
+
+class InfeasibleScheduleError(ReproError, ValueError):
+    """A schedule violates a model constraint.
+
+    Raised when a work assignment places load outside a job's
+    release-deadline window, schedules a job on two processors at once, or
+    claims to finish a job without processing its full workload.
+    """
+
+
+class GridMismatchError(ReproError, ValueError):
+    """Two objects refer to different atomic-interval partitions."""
+
+
+class SolverError(ReproError, RuntimeError):
+    """A numerical solver failed in a way that is not a convergence issue."""
+
+
+class ConvergenceError(SolverError):
+    """An iterative solver exhausted its iteration budget.
+
+    Carries the best iterate found so far in :attr:`best`, when available,
+    so callers may inspect or accept a slightly-suboptimal answer.
+    """
+
+    def __init__(self, message: str, best: object | None = None) -> None:
+        super().__init__(message)
+        self.best = best
+
+
+class CertificateError(ReproError, AssertionError):
+    """A competitive-ratio or KKT certificate check failed.
+
+    These checks encode theorems of the paper; a failure means either a
+    bug in an algorithm implementation or numerical tolerances that are
+    too tight — never an "expected" runtime condition.
+    """

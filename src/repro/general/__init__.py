@@ -1,0 +1,31 @@
+"""Generalized power functions — the framework beyond ``s**alpha``.
+
+The paper closes by conjecturing (with Gupta, Krishnaswamy, and Pruhs)
+that its primal-dual approach extends past the polynomial power model.
+This subpackage carries the conjecture out operationally:
+
+* :class:`SumPower` — convex mixes ``sum c_i s**a_i`` (cube rule plus
+  leakage, and anything else the protocol admits);
+* :func:`run_pd_general` — the unchanged PD machinery priced by an
+  arbitrary convex power function;
+* :func:`general_dual_bound` — the generalized dual value ``g(lambda~)``,
+  still a certified lower bound on OPT by weak duality, yielding a
+  per-run empirical competitive-ratio certificate.
+
+What does **not** generalize — and the code is explicit about it — is
+Theorem 3's closed-form constant ``alpha**alpha`` and its optimal
+``delta``; E16 explores both empirically.
+"""
+
+from .duality import GeneralDualBound, general_dual_bound
+from .pd_general import GeneralPDResult, energy_with_power, run_pd_general
+from .powers import SumPower
+
+__all__ = [
+    "SumPower",
+    "run_pd_general",
+    "GeneralPDResult",
+    "energy_with_power",
+    "general_dual_bound",
+    "GeneralDualBound",
+]

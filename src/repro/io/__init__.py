@@ -1,0 +1,21 @@
+"""Persistence (JSON schemas) and the command-line interface."""
+
+from .serialize import (
+    SCHEMA_VERSION,
+    instance_from_dict,
+    instance_to_dict,
+    load_json,
+    save_json,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "instance_to_dict",
+    "instance_from_dict",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "save_json",
+    "load_json",
+]

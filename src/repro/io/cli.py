@@ -1,0 +1,316 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands
+-----------
+``generate``
+    Produce an instance from a named workload family and write it as JSON.
+``run``
+    Run any registered algorithm on an instance file; print the summary
+    and optionally save the schedule.
+``compare``
+    Run several algorithms on the same instance and print a cost table.
+``certify``
+    Run PD and print the full Theorem 3 audit report.
+``figures``
+    Regenerate the paper's Figure 2 / Figure 3 renderings.
+``discrete``
+    Run PD on a finite speed menu and report the emulation overhead.
+``profit``
+    Profit accounting of a PD run (the Pruhs–Stein objective), with
+    optional resource augmentation.
+``adversary``
+    Hill-climb for hard instances and report the hardest certified ratio.
+
+The CLI is a thin shell over the library: every subcommand body is a few
+calls into the public API, which keeps it honest as documentation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from ..analysis.report import audit_run
+from ..core.pd import run_pd
+from ..core.simulator import available_algorithms, run_algorithm
+from ..errors import ReproError
+from ..model.job import Instance
+from .serialize import (
+    instance_from_dict,
+    instance_to_dict,
+    load_json,
+    save_json,
+    schedule_to_dict,
+)
+
+__all__ = ["main", "build_parser"]
+
+_GENERATORS: dict[str, Callable[..., Instance]] = {}
+
+
+def _generators() -> dict[str, Callable[..., Instance]]:
+    if not _GENERATORS:
+        from .. import workloads as w
+
+        _GENERATORS.update(
+            {
+                "poisson": lambda n, m, alpha, seed: w.poisson_instance(
+                    n, m=m, alpha=alpha, seed=seed
+                ),
+                "heavy-tail": lambda n, m, alpha, seed: w.heavy_tail_instance(
+                    n, m=m, alpha=alpha, seed=seed
+                ),
+                "uniform": lambda n, m, alpha, seed: w.uniform_instance(
+                    n, m=m, alpha=alpha, seed=seed
+                ),
+                "diurnal": lambda n, m, alpha, seed: w.diurnal_instance(
+                    n, m=m, alpha=alpha, seed=seed
+                ),
+                "agreeable": lambda n, m, alpha, seed: w.agreeable_instance(
+                    n, m=m, alpha=alpha, seed=seed
+                ),
+                "batch": lambda n, m, alpha, seed: w.batch_instance(
+                    n, m=m, alpha=alpha, seed=seed
+                ),
+                "tight": lambda n, m, alpha, seed: w.tight_instance(
+                    n, m=m, alpha=alpha, seed=seed
+                ),
+                "lowerbound": lambda n, m, alpha, seed: w.lower_bound_instance(
+                    n, alpha
+                ),
+            }
+        )
+    return _GENERATORS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Profitable scheduling on multiple speed-scalable processors "
+            "(Kling & Pietrzyk, SPAA 2013) — reproduction toolkit"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a workload instance")
+    gen.add_argument("family", choices=sorted(_generators()))
+    gen.add_argument("output", help="output JSON path")
+    gen.add_argument("-n", type=int, default=20, help="number of jobs")
+    gen.add_argument("-m", type=int, default=1, help="processors")
+    gen.add_argument("--alpha", type=float, default=3.0)
+    gen.add_argument("--seed", type=int, default=0)
+
+    run = sub.add_parser("run", help="run one algorithm on an instance file")
+    run.add_argument("algorithm", choices=available_algorithms())
+    run.add_argument("instance", help="instance JSON path")
+    run.add_argument("--save-schedule", help="write the schedule JSON here")
+    run.add_argument("--gantt", action="store_true", help="print a Gantt chart")
+
+    cmp_ = sub.add_parser("compare", help="run several algorithms side by side")
+    cmp_.add_argument("instance", help="instance JSON path")
+    cmp_.add_argument(
+        "--algorithms",
+        default="pd,cll,oa",
+        help="comma-separated registry names (default: pd,cll,oa)",
+    )
+
+    cert = sub.add_parser("certify", help="run PD and print the audit report")
+    cert.add_argument("instance", help="instance JSON path")
+    cert.add_argument("--delta", type=float, default=None)
+
+    sub.add_parser("figures", help="regenerate the paper's Figures 2 and 3")
+
+    disc = sub.add_parser(
+        "discrete", help="run PD on a finite speed menu (SpeedStep-style)"
+    )
+    disc.add_argument("instance", help="instance JSON path")
+    disc.add_argument(
+        "--levels", type=int, default=8, help="number of geometric speed levels"
+    )
+    disc.add_argument(
+        "--cap",
+        type=float,
+        default=None,
+        help="explicit top speed (default: cover the continuous run)",
+    )
+
+    prof = sub.add_parser(
+        "profit", help="profit accounting (Pruhs-Stein objective) of a PD run"
+    )
+    prof.add_argument("instance", help="instance JSON path")
+    prof.add_argument(
+        "--epsilon",
+        type=float,
+        default=0.0,
+        help="speed augmentation (0 = plain PD)",
+    )
+
+    adv = sub.add_parser(
+        "adversary", help="hill-climb for instances maximizing PD's ratio"
+    )
+    adv.add_argument("instance", help="seed instance JSON path")
+    adv.add_argument("--rounds", type=int, default=100)
+    adv.add_argument("--seed", type=int, default=0)
+    adv.add_argument("--save", help="write the hardest instance JSON here")
+    return parser
+
+
+def _load_instance(path: str) -> Instance:
+    return instance_from_dict(load_json(path))
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    inst = _generators()[args.family](args.n, args.m, args.alpha, args.seed)
+    save_json(instance_to_dict(inst), args.output)
+    print(f"wrote {inst.n} jobs (m={inst.m}, alpha={inst.alpha}) to {args.output}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    inst = _load_instance(args.instance)
+    outcome = run_algorithm(args.algorithm, inst)
+    print(outcome.schedule.summary())
+    if args.save_schedule:
+        save_json(schedule_to_dict(outcome.schedule), args.save_schedule)
+        print(f"schedule written to {args.save_schedule}")
+    if args.gantt:
+        from ..viz import gantt
+
+        print(gantt(outcome.schedule))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    inst = _load_instance(args.instance)
+    names = [s.strip() for s in args.algorithms.split(",") if s.strip()]
+    print(f"{'algorithm':<12} {'cost':>12} {'energy':>12} {'lost value':>12} {'accepted':>9}")
+    print("-" * 62)
+    for name in names:
+        try:
+            outcome = run_algorithm(name, inst)
+        except ReproError as exc:
+            print(f"{name:<12} (skipped: {exc})")
+            continue
+        sched = outcome.schedule
+        acc = int(sched.finished.sum())
+        print(
+            f"{name:<12} {sched.cost:>12.4f} {sched.energy:>12.4f} "
+            f"{sched.lost_value:>12.4f} {acc:>5d}/{inst.n}"
+        )
+    return 0
+
+
+def _cmd_certify(args: argparse.Namespace) -> int:
+    inst = _load_instance(args.instance)
+    result = run_pd(inst, delta=args.delta)
+    report = audit_run(result)
+    print(report.text)
+    return 0 if report.ok else 1
+
+
+def _cmd_figures(_: argparse.Namespace) -> int:
+    from ..model.power import PolynomialPower
+    from ..chen import schedule_interval
+    from ..viz import interval_gantt, speed_profile
+    from ..classical.oa import run_oa
+
+    power = PolynomialPower(3.0)
+    print("Figure 2a — before the new job:")
+    before = schedule_interval([3.0, 1.2, 1.0, 0.8], m=4, start=0.0, end=1.0, power=power)
+    print(interval_gantt([before], width=56, m=4))
+    print("\nFigure 2b — after a new job of size 1.5:")
+    after = schedule_interval(
+        [3.0, 1.2, 1.0, 0.8, 1.5], m=4, start=0.0, end=1.0, power=power
+    )
+    print(interval_gantt([after], width=56, m=4))
+
+    inst = Instance.classical([(0.0, 3.0, 1.5), (1.0, 2.0, 1.2)], m=1, alpha=3.0)
+    print("\nFigure 3a — PD:")
+    print(speed_profile(run_pd(inst).schedule, width=56, height=6))
+    print("\nFigure 3b — OA:")
+    print(speed_profile(run_oa(inst).schedule, width=56, height=6))
+    return 0
+
+
+def _cmd_discrete(args: argparse.Namespace) -> int:
+    from ..discrete import (
+        SpeedSet,
+        menu_covering_schedule,
+        run_pd_discrete,
+        worst_overhead_factor,
+    )
+
+    inst = _load_instance(args.instance)
+    continuous = run_pd(inst)
+    if args.cap is not None:
+        menu = SpeedSet.geometric(
+            0.02 * args.cap, args.cap, args.levels
+        ) if args.levels > 1 else SpeedSet([args.cap])
+    else:
+        menu = menu_covering_schedule(continuous, args.levels)
+    result = run_pd_discrete(inst, menu)
+    print(result.summary())
+    bound = worst_overhead_factor(menu, inst.alpha)
+    print(f"  analytic envelope bound on the overhead: x{bound:.4f}")
+    return 0
+
+
+def _cmd_profit(args: argparse.Namespace) -> int:
+    from ..profit import profit_of_result, run_pd_augmented
+
+    inst = _load_instance(args.instance)
+    if args.epsilon > 0.0:
+        augmented = run_pd_augmented(inst, args.epsilon)
+        print(augmented.summary())
+    else:
+        result = run_pd(inst)
+        print(result.schedule.summary())
+        print(f"  {profit_of_result(result)}")
+    return 0
+
+
+def _cmd_adversary(args: argparse.Namespace) -> int:
+    from ..analysis.adversary import search_adversarial
+
+    seed_inst = _load_instance(args.instance)
+    out = search_adversarial([seed_inst], rounds=args.rounds, rng=args.seed)
+    print(
+        f"hardest certified ratio: {out.ratio:.4f} of bound {out.bound:.4f} "
+        f"({100 * out.ratio / out.bound:.1f}%), {out.evaluations} evaluations"
+    )
+    print(f"hardest instance: {out.instance.n} jobs")
+    if args.save:
+        save_json(instance_to_dict(out.instance), args.save)
+        print(f"written to {args.save}")
+    return 0
+
+
+_DISPATCH = {
+    "generate": _cmd_generate,
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+    "certify": _cmd_certify,
+    "figures": _cmd_figures,
+    "discrete": _cmd_discrete,
+    "profit": _cmd_profit,
+    "adversary": _cmd_adversary,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _DISPATCH[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

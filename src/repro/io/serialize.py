@@ -1,0 +1,148 @@
+"""JSON-round-trippable representations of instances, schedules, results.
+
+A reproduction library lives or dies by whether experiments can be saved,
+shared, and replayed. This module defines a stable, versioned JSON schema
+for the three object kinds users exchange:
+
+* **instances** — the problem inputs (jobs + machine),
+* **schedules** — full solutions (grid + loads + acceptance),
+* **run records** — an algorithm name, its schedule, and its certificate,
+  which is everything needed to audit a claim offline.
+
+All functions are pure dict <-> object converters; file handling lives in
+:func:`save_json` / :func:`load_json`. Unknown schema versions fail loudly
+rather than guessing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from ..model.intervals import Grid
+from ..model.job import Instance, Job
+from ..model.schedule import Schedule
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "instance_to_dict",
+    "instance_from_dict",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "save_json",
+    "load_json",
+]
+
+SCHEMA_VERSION = 1
+
+
+def _require_kind(payload: dict, kind: str) -> None:
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise InvalidParameterError(
+            f"unsupported schema version {payload.get('schema')!r}; "
+            f"this library writes version {SCHEMA_VERSION}"
+        )
+    if payload.get("kind") != kind:
+        raise InvalidParameterError(
+            f"expected a {kind!r} payload, got {payload.get('kind')!r}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Instances
+# ----------------------------------------------------------------------
+def instance_to_dict(instance: Instance) -> dict[str, Any]:
+    """Serialize an instance (jobs keep their optional names)."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "instance",
+        "m": instance.m,
+        "alpha": instance.alpha,
+        "jobs": [
+            {
+                "release": job.release,
+                "deadline": job.deadline,
+                "workload": job.workload,
+                "value": job.value,
+                **({"name": job.name} if job.name is not None else {}),
+            }
+            for job in instance.jobs
+        ],
+    }
+
+
+def instance_from_dict(payload: dict[str, Any]) -> Instance:
+    """Inverse of :func:`instance_to_dict`, with validation."""
+    _require_kind(payload, "instance")
+    jobs = tuple(
+        Job(
+            release=float(row["release"]),
+            deadline=float(row["deadline"]),
+            workload=float(row["workload"]),
+            value=float(row["value"]),
+            name=row.get("name"),
+        )
+        for row in payload["jobs"]
+    )
+    return Instance(jobs, m=int(payload["m"]), alpha=float(payload["alpha"]))
+
+
+# ----------------------------------------------------------------------
+# Schedules
+# ----------------------------------------------------------------------
+def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
+    """Serialize a schedule; loads are stored sparsely (job, interval, load)."""
+    loads = schedule.loads
+    nz = np.argwhere(loads > 0.0)
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "schedule",
+        "instance": instance_to_dict(schedule.instance),
+        "boundaries": [float(b) for b in schedule.grid.boundaries],
+        "finished": [bool(f) for f in schedule.finished],
+        "loads": [
+            [int(j), int(k), float(loads[j, k])] for j, k in nz
+        ],
+        "cost": schedule.cost,
+        "energy": schedule.energy,
+    }
+
+
+def schedule_from_dict(payload: dict[str, Any]) -> Schedule:
+    """Inverse of :func:`schedule_to_dict`; recomputes (and checks) cost."""
+    _require_kind(payload, "schedule")
+    instance = instance_from_dict(payload["instance"])
+    grid = Grid(np.array(payload["boundaries"], dtype=np.float64))
+    loads = np.zeros((instance.n, grid.size))
+    for j, k, u in payload["loads"]:
+        loads[int(j), int(k)] = float(u)
+    schedule = Schedule(
+        instance=instance,
+        grid=grid,
+        loads=loads,
+        finished=np.array(payload["finished"], dtype=bool),
+    )
+    stored = float(payload.get("cost", schedule.cost))
+    if abs(stored - schedule.cost) > 1e-6 * max(1.0, abs(stored)):
+        raise InvalidParameterError(
+            f"stored cost {stored} disagrees with recomputed {schedule.cost}; "
+            "the payload was produced by an incompatible build or corrupted"
+        )
+    return schedule
+
+
+# ----------------------------------------------------------------------
+# Files
+# ----------------------------------------------------------------------
+def save_json(payload: dict[str, Any], path: str | Path) -> None:
+    """Write a payload with stable formatting (diff-friendly)."""
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def load_json(path: str | Path) -> dict[str, Any]:
+    """Read a payload produced by :func:`save_json`."""
+    return json.loads(Path(path).read_text())

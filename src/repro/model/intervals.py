@@ -1,0 +1,255 @@
+"""Atomic time intervals and their online refinement.
+
+Following Bingham & Greenstreet (and Section 2.1 of the paper), time is
+partitioned into *atomic intervals* ``T_k = [tau_{k-1}, tau_k)`` whose
+boundaries are exactly the release times and deadlines seen so far. Inside
+an atomic interval the set of available jobs is constant, which is what
+makes per-interval work assignments a complete description of a schedule.
+
+An online algorithm does not know the final grid: when a new job arrives
+its release/deadline may split existing intervals. The paper observes
+(Section 3, "Concerning the Time Partitioning") that splitting an interval
+and dividing assigned portions proportionally to the sub-lengths leaves
+the schedule unchanged. :meth:`Grid.refine` implements exactly this and
+returns the bookkeeping needed to remap per-interval arrays.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import GridMismatchError, InvalidParameterError
+from ..types import FloatArray, IntervalIndex, Time
+from .job import Instance, Job
+
+__all__ = ["Grid", "Refinement", "grid_for_instance"]
+
+#: Two time points closer than this are considered identical breakpoints.
+_TIME_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class Refinement:
+    """Result of refining a grid with new breakpoints.
+
+    Attributes
+    ----------
+    grid:
+        The refined grid.
+    parent:
+        For each new interval index, the index of the old interval that
+        contains it (``len == grid.size``). New intervals that lie outside
+        the old grid's span have parent ``-1``.
+    fraction:
+        For each new interval, its length divided by its parent's length
+        (1.0 for parent ``-1``). Splitting a per-interval quantity ``q_k``
+        proportionally means assigning ``q_parent * fraction`` to each
+        child — the paper's load-preserving split.
+    """
+
+    grid: "Grid"
+    parent: np.ndarray
+    fraction: FloatArray
+
+    def split_row(self, row: FloatArray, *, fill: float = 0.0) -> FloatArray:
+        """Remap a per-old-interval array onto the refined grid.
+
+        ``row[k]`` is distributed over the children of old interval ``k``
+        in proportion to their lengths; positions with no parent get
+        ``fill``.
+        """
+        out = np.full(self.grid.size, fill, dtype=np.float64)
+        mask = self.parent >= 0
+        out[mask] = row[self.parent[mask]] * self.fraction[mask]
+        return out
+
+    def carry_row(self, row: FloatArray, *, fill: float = 0.0) -> FloatArray:
+        """Remap a per-old-interval *intensive* array (e.g. a speed).
+
+        Unlike :meth:`split_row`, the value is copied to every child
+        unchanged — appropriate for quantities that do not scale with
+        interval length.
+        """
+        out = np.full(self.grid.size, fill, dtype=np.float64)
+        mask = self.parent >= 0
+        out[mask] = row[self.parent[mask]]
+        return out
+
+
+@dataclass(frozen=True)
+class Grid:
+    """An ordered partition of ``[boundaries[0], boundaries[-1])``.
+
+    ``boundaries`` is a strictly increasing float array of length
+    ``size + 1``; interval ``k`` is ``[boundaries[k], boundaries[k+1])``.
+    """
+
+    boundaries: FloatArray
+
+    def __post_init__(self) -> None:
+        b = np.ascontiguousarray(self.boundaries, dtype=np.float64)
+        if b.ndim != 1 or b.size < 2:
+            raise InvalidParameterError(
+                "a grid needs at least two boundaries (one interval)"
+            )
+        if not np.all(np.diff(b) > _TIME_EPS):
+            raise InvalidParameterError(
+                "grid boundaries must be strictly increasing"
+            )
+        object.__setattr__(self, "boundaries", b)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_points(cls, points: Iterable[Time]) -> "Grid":
+        """Grid whose boundaries are the de-duplicated sorted ``points``."""
+        uniq = _dedupe(sorted(points))
+        return cls(np.array(uniq, dtype=np.float64))
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of atomic intervals ``N``."""
+        return int(self.boundaries.size - 1)
+
+    @property
+    def lengths(self) -> FloatArray:
+        """Array of interval lengths ``l_k``."""
+        return np.diff(self.boundaries)
+
+    @property
+    def span(self) -> tuple[Time, Time]:
+        """Overall covered range ``[tau_0, tau_N)``."""
+        return (float(self.boundaries[0]), float(self.boundaries[-1]))
+
+    def interval(self, k: IntervalIndex) -> tuple[Time, Time]:
+        """The half-open interval ``T_k``."""
+        return (float(self.boundaries[k]), float(self.boundaries[k + 1]))
+
+    def length(self, k: IntervalIndex) -> float:
+        """Length ``l_k`` of interval ``k``."""
+        return float(self.boundaries[k + 1] - self.boundaries[k])
+
+    def locate(self, t: Time) -> IntervalIndex:
+        """Index of the interval containing time ``t``.
+
+        Raises :class:`IndexError` when ``t`` is outside the grid span.
+        The right endpoint is exclusive, matching ``[tau_{k-1}, tau_k)``.
+        """
+        lo, hi = self.span
+        if t < lo - _TIME_EPS or t >= hi:
+            raise IndexError(f"time {t} outside grid span [{lo}, {hi})")
+        k = int(np.searchsorted(self.boundaries, t, side="right")) - 1
+        return max(0, min(k, self.size - 1))
+
+    def covering(self, start: Time, end: Time) -> range:
+        """Indices of intervals fully inside ``[start, end)``.
+
+        Both endpoints must be grid boundaries (they are, for any job
+        window once its release/deadline have been inserted); otherwise a
+        :class:`GridMismatchError` is raised to surface stale grids early.
+        """
+        i = _boundary_index(self.boundaries, start)
+        j = _boundary_index(self.boundaries, end)
+        if i is None or j is None:
+            raise GridMismatchError(
+                f"window [{start}, {end}) is not aligned with the grid; "
+                "refine the grid with these endpoints first"
+            )
+        return range(i, j)
+
+    def availability(self, job: Job) -> np.ndarray:
+        """Boolean mask ``c_{jk}``: interval ``k`` lies inside the job window."""
+        mask = np.zeros(self.size, dtype=bool)
+        mask[list(self.covering(job.release, job.deadline))] = True
+        return mask
+
+    def availability_matrix(self, instance: Instance) -> np.ndarray:
+        """Full ``n x N`` boolean availability matrix for an instance.
+
+        Requires every job window endpoint to be a grid boundary, i.e. the
+        grid built by :func:`grid_for_instance`.
+        """
+        return np.stack([self.availability(j) for j in instance.jobs], axis=0)
+
+    # ------------------------------------------------------------------
+    # Refinement
+    # ------------------------------------------------------------------
+    def refine(self, new_points: Iterable[Time]) -> Refinement:
+        """Insert breakpoints and report how old intervals split.
+
+        Points outside the current span extend the grid (this happens when
+        a newly released job's deadline exceeds the known horizon); the
+        extension intervals have no parent. New points within tolerance of
+        an existing boundary snap to it, so refinement never *moves* a
+        boundary.
+        """
+        existing = self.boundaries.tolist()
+        fresh = [
+            p
+            for p in map(float, new_points)
+            if not any(abs(p - b) <= _TIME_EPS for b in existing)
+        ]
+        merged = _dedupe(sorted(set(fresh) | set(existing)))
+        new = Grid(np.array(merged, dtype=np.float64))
+        parent = np.empty(new.size, dtype=np.int64)
+        fraction = np.empty(new.size, dtype=np.float64)
+        old_lo, old_hi = self.span
+        for k in range(new.size):
+            a, b = new.interval(k)
+            if a < old_lo - _TIME_EPS or b > old_hi + _TIME_EPS:
+                parent[k] = -1
+                fraction[k] = 1.0
+                continue
+            p = self.locate(a)
+            parent[k] = p
+            fraction[k] = (b - a) / self.length(p)
+        return Refinement(grid=new, parent=parent, fraction=fraction)
+
+    # ------------------------------------------------------------------
+    # Comparisons
+    # ------------------------------------------------------------------
+    def same_as(self, other: "Grid", *, tol: float = _TIME_EPS) -> bool:
+        """Whether two grids have identical boundaries up to ``tol``."""
+        return self.boundaries.size == other.boundaries.size and bool(
+            np.allclose(self.boundaries, other.boundaries, atol=tol, rtol=0.0)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        lo, hi = self.span
+        return f"Grid(N={self.size}, span=[{lo:g}, {hi:g}))"
+
+
+def grid_for_instance(instance: Instance) -> Grid:
+    """The paper's atomic-interval partition for a full (offline) instance.
+
+    Boundaries are all distinct release times and deadlines; with ``n``
+    jobs there are at most ``2n - 1`` intervals.
+    """
+    if instance.n == 0:
+        raise InvalidParameterError("cannot build a grid for an empty instance")
+    return Grid.from_points(instance.event_times())
+
+
+def _dedupe(sorted_points: Sequence[float]) -> list[float]:
+    """Drop points closer than ``_TIME_EPS`` to their predecessor."""
+    out: list[float] = []
+    for p in sorted_points:
+        if not out or p - out[-1] > _TIME_EPS:
+            out.append(float(p))
+    return out
+
+
+def _boundary_index(boundaries: FloatArray, t: Time) -> int | None:
+    """Index of ``t`` within ``boundaries`` (up to tolerance), else None."""
+    i = bisect.bisect_left(boundaries.tolist(), t - _TIME_EPS)
+    if i < boundaries.size and abs(float(boundaries[i]) - t) <= _TIME_EPS * max(1.0, abs(t)) + _TIME_EPS:
+        return i
+    return None

@@ -1,0 +1,101 @@
+"""Cross-cutting validation helpers for schedules and realizations.
+
+:meth:`repro.model.schedule.Schedule.validate` checks the *assignment
+level* constraints; the functions here check the *realization level*: that
+explicit segments respect "at most one job per processor at a time" and
+"no job on two processors at once", and that segment work matches the
+claimed loads. They are used by integration tests and by the analysis
+package when certifying results, not in algorithm hot paths.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Sequence
+
+from ..chen.mcnaughton import Segment
+from ..errors import InfeasibleScheduleError
+
+__all__ = [
+    "check_no_processor_overlap",
+    "check_no_job_self_overlap",
+    "check_segment_work",
+    "validate_segments",
+]
+
+_TIME_EPS = 1e-9
+
+
+def _sorted_by(segments: Iterable[Segment], key: str) -> dict[int, list[Segment]]:
+    groups: dict[int, list[Segment]] = defaultdict(list)
+    for seg in segments:
+        groups[getattr(seg, key)].append(seg)
+    for segs in groups.values():
+        segs.sort(key=lambda s: s.start)
+    return groups
+
+
+def check_no_processor_overlap(segments: Sequence[Segment]) -> None:
+    """Every processor runs at most one job at any time."""
+    for proc, segs in _sorted_by(segments, "processor").items():
+        for prev, cur in zip(segs, segs[1:]):
+            if cur.start < prev.end - _TIME_EPS:
+                raise InfeasibleScheduleError(
+                    f"processor {proc}: segments overlap "
+                    f"([{prev.start}, {prev.end}) for job {prev.job} and "
+                    f"[{cur.start}, {cur.end}) for job {cur.job})"
+                )
+
+
+def check_no_job_self_overlap(segments: Sequence[Segment]) -> None:
+    """No job runs on two processors at the same time (nonparallel jobs)."""
+    for job, segs in _sorted_by(segments, "job").items():
+        for prev, cur in zip(segs, segs[1:]):
+            if cur.start < prev.end - _TIME_EPS:
+                raise InfeasibleScheduleError(
+                    f"job {job} runs in parallel with itself: "
+                    f"[{prev.start}, {prev.end}) on processor {prev.processor} vs "
+                    f"[{cur.start}, {cur.end}) on processor {cur.processor}"
+                )
+
+
+def check_segment_work(
+    segments: Sequence[Segment],
+    expected_work: dict[int, float],
+    *,
+    rel_tol: float = 1e-6,
+) -> None:
+    """Per-job segment work must match the claimed per-job loads."""
+    got: dict[int, float] = defaultdict(float)
+    for seg in segments:
+        got[seg.job] += seg.work
+    for job, want in expected_work.items():
+        have = got.get(job, 0.0)
+        if abs(have - want) > rel_tol * max(1.0, abs(want)):
+            raise InfeasibleScheduleError(
+                f"job {job}: segments process {have:.12g} work, expected {want:.12g}"
+            )
+    extra = set(got) - set(expected_work)
+    if any(got[j] > rel_tol for j in extra):
+        raise InfeasibleScheduleError(
+            f"segments process work for unexpected jobs {sorted(extra)}"
+        )
+
+
+def validate_segments(
+    segments: Sequence[Segment],
+    *,
+    expected_work: dict[int, float] | None = None,
+    m: int | None = None,
+) -> None:
+    """Run all realization-level checks on a segment list."""
+    check_no_processor_overlap(segments)
+    check_no_job_self_overlap(segments)
+    if m is not None:
+        bad = [s for s in segments if not (0 <= s.processor < m)]
+        if bad:
+            raise InfeasibleScheduleError(
+                f"segment uses processor {bad[0].processor} outside [0, {m})"
+            )
+    if expected_work is not None:
+        check_segment_work(segments, expected_work)

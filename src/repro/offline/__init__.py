@@ -1,0 +1,29 @@
+"""Offline solvers: the convex program (CP), the exact integral (IMP),
+and Horn's max-flow feasibility oracle for uniform-speed baselines."""
+
+from .bounds import reject_all_upper_bound, solo_choice_lower_bound
+from .convex import OfflineSolution, kkt_residual, solve_min_energy
+from .flow import (
+    FlowFeasibility,
+    UniformSpeedResult,
+    check_feasible_at_speed,
+    minimal_uniform_speed,
+    run_uniform_speed,
+)
+from .optimal import ExactSolution, solo_energy, solve_exact
+
+__all__ = [
+    "solve_min_energy",
+    "OfflineSolution",
+    "kkt_residual",
+    "solve_exact",
+    "ExactSolution",
+    "solo_energy",
+    "solo_choice_lower_bound",
+    "reject_all_upper_bound",
+    "FlowFeasibility",
+    "UniformSpeedResult",
+    "check_feasible_at_speed",
+    "minimal_uniform_speed",
+    "run_uniform_speed",
+]

@@ -1,0 +1,36 @@
+"""Cheap combinatorial lower bounds on the offline optimum.
+
+These bounds need no optimization and hold for any number of processors;
+benchmarks use them to sanity-band results on instances too large for
+exact enumeration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..model.job import Instance
+from ..model.power import optimal_constant_speed_energy
+
+__all__ = ["solo_choice_lower_bound", "reject_all_upper_bound"]
+
+
+def solo_choice_lower_bound(instance: Instance) -> float:
+    """``sum_j min(solo energy, value)`` — a valid lower bound on OPT.
+
+    Per job, any schedule either finishes it (paying at least its solo
+    energy: the per-job energies of a multiprocessor schedule add up, and
+    convexity makes constant speed over the whole window a per-job
+    minimum) or rejects it (paying its value). Cross terms only increase
+    energy, so summing the per-job minima lower-bounds the optimum.
+    """
+    total = 0.0
+    for job in instance.jobs:
+        solo = optimal_constant_speed_energy(instance.alpha, job.workload, job.span)
+        total += min(solo, job.value)
+    return total
+
+
+def reject_all_upper_bound(instance: Instance) -> float:
+    """Cost of rejecting every job — a trivial upper bound on OPT."""
+    return float(np.sum(instance.values))

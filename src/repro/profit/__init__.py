@@ -1,0 +1,48 @@
+"""The Pruhs–Stein profit objective (reference [13] of the paper).
+
+Profit = value earned − energy bought; loss (the paper's objective) =
+energy + value lost. The two are complementary — ``profit + loss = total
+value`` on every schedule — yet behave completely differently under
+competitive analysis. This subpackage makes that precise and executable:
+
+* :mod:`repro.profit.model` — profit accounting and the exact offline
+  profit optimum.
+* :mod:`repro.profit.hard_instances` — the margin-erosion family on which
+  *every* online algorithm's profit-competitiveness is unbounded
+  (Pruhs & Stein's impossibility result, with closed forms).
+* :mod:`repro.profit.augmented` — ``(1 + eps)``-speed resource
+  augmentation, realized exactly via a workload change of variables.
+
+E12 (``benchmarks/bench_e12_profit.py``) sweeps the margin and the
+augmentation and reproduces the qualitative dichotomy: unbounded ratio
+without augmentation, O(1) with.
+"""
+
+from .augmented import AugmentedProfitResult, run_pd_augmented
+from .hard_instances import (
+    bait_value,
+    opt_profit_lower_bound,
+    pd_energy_closed_form,
+    vanishing_margin_instance,
+)
+from .model import (
+    ProfitBreakdown,
+    loss_profit_gap,
+    optimal_profit,
+    profit_of,
+    profit_of_result,
+)
+
+__all__ = [
+    "ProfitBreakdown",
+    "profit_of",
+    "profit_of_result",
+    "optimal_profit",
+    "loss_profit_gap",
+    "vanishing_margin_instance",
+    "pd_energy_closed_form",
+    "opt_profit_lower_bound",
+    "bait_value",
+    "AugmentedProfitResult",
+    "run_pd_augmented",
+]

@@ -1,0 +1,130 @@
+"""Instances on which profit-competitiveness collapses without augmentation.
+
+Pruhs & Stein's central negative result: **no online algorithm has bounded
+profit-competitiveness without resource augmentation.** The obstruction is
+margin erosion — an adversary serves jobs whose total value exceeds the
+online algorithm's energy by an arbitrarily small margin, then exploits
+its inability to re-plan committed work. The clairvoyant optimum keeps a
+profit bounded away from zero; the online schedule's convexity penalty
+for late-arriving work eats its margin whole.
+
+:func:`vanishing_margin_instance` builds the minimal two-job version of
+this trap, tuned so that every quantity has a closed form:
+
+* Job 1 ("bait"): window ``[0, 2)``, workload 1. PD (and OA, and any lazy
+  marginal-cost scheduler) spreads it at speed 1/2 over the full window
+  and **commits** — PD never moves an earlier job's assignment.
+* Job 2 ("squeeze"): window ``[1, 2)``, workload 1, value large enough to
+  force acceptance. PD must stack it on the committed half of job 1 at
+  speed ``3/2``; the clairvoyant optimum runs both jobs back-to-back at
+  speed 1 (or drops the cheap bait entirely — either way it keeps a
+  constant profit).
+
+Closed forms (single processor, exponent ``alpha``):
+
+* ``PD energy   = (1/2)**alpha + (3/2)**alpha``  (accepts both jobs)
+* total value is pinned to ``PD energy + margin``, so **PD's profit is
+  exactly ``margin``**, while the optimum's profit is at least
+  ``max(total - 2, v2 - 1)`` — bounded away from zero. The profit ratio
+  therefore grows like ``1/margin``: unbounded as the margin vanishes,
+  which is the Pruhs–Stein impossibility made executable (E12 sweeps it).
+
+The family needs ``alpha >= 2``. Below that the paper's rejection factor
+``alpha**(alpha-2)`` drops under 1, the acceptance thresholds of the two
+jobs sum to *more* than the pinned total value, and PD escapes the trap
+by rejecting the squeeze — an instructive corollary of the rejection
+policy, recorded in E12, but not a working trap.
+"""
+
+from __future__ import annotations
+
+from ..errors import InvalidParameterError
+from ..model.job import Instance, Job
+
+__all__ = [
+    "vanishing_margin_instance",
+    "pd_energy_closed_form",
+    "opt_profit_lower_bound",
+    "bait_value",
+]
+
+#: Headroom factor keeping the bait job strictly above PD's acceptance
+#: threshold (threshold equality is a measure-zero edge we stay off).
+_BAIT_HEADROOM = 1.1
+
+
+def pd_energy_closed_form(alpha: float) -> float:
+    """Energy PD spends on the trap: ``(1/2)^alpha + (3/2)^alpha``."""
+    return 0.5**alpha + 1.5**alpha
+
+
+def bait_value(alpha: float) -> float:
+    """Value of job 1: just above PD's acceptance threshold.
+
+    PD accepts a job iff its planned energy is at most
+    ``alpha**(alpha-2)`` times its value (the paper's Section 3 policy).
+    Job 1's planned energy at arrival is ``(1/2)**(alpha-1)``, so any
+    value above ``(1/2)**(alpha-1) / alpha**(alpha-2)`` is accepted; we
+    add 10% headroom.
+    """
+    return _BAIT_HEADROOM * 0.5 ** (alpha - 1.0) / alpha ** (alpha - 2.0)
+
+
+def opt_profit_lower_bound(alpha: float, margin: float) -> float:
+    """Closed-form lower bound on the clairvoyant optimum's profit.
+
+    Two explicit strategies: accept both jobs back-to-back at speed 1
+    (energy 2), or reject the bait and run the squeeze alone at speed 1
+    (energy 1). The optimum is at least the better of the two.
+    """
+    total = pd_energy_closed_form(alpha) + margin
+    v1 = bait_value(alpha)
+    return max(total - 2.0, (total - v1) - 1.0, 0.0)
+
+
+def vanishing_margin_instance(margin: float, alpha: float) -> Instance:
+    """The two-job margin-erosion trap with total value ``PD energy + margin``.
+
+    Parameters
+    ----------
+    margin:
+        How much total value exceeds PD's energy — PD's entire profit.
+        Must be positive; the profit ratio scales like ``1/margin``.
+    alpha:
+        Energy exponent, ``>= 2`` (see module docstring for why the trap
+        degenerates below 2).
+
+    Notes
+    -----
+    Acceptance of both jobs is what pins PD's profit to ``margin``:
+
+    * the bait clears its threshold by construction of
+      :func:`bait_value`;
+    * the squeeze's planned energy is ``(3/2)**(alpha-1)`` and its value
+      is ``PD energy + margin - bait``, which clears the threshold
+      ``(3/2)**(alpha-1) / alpha**(alpha-2)`` for every ``alpha >= 2``
+      (the test-suite asserts this across the sweep range).
+    """
+    if margin <= 0.0:
+        raise InvalidParameterError(f"margin must be > 0, got {margin}")
+    if not (alpha >= 2.0):
+        raise InvalidParameterError(
+            f"the margin-erosion trap needs alpha >= 2 (got {alpha}): below "
+            "that PD's rejection factor lets it escape by rejecting the "
+            "squeeze job"
+        )
+    total_value = pd_energy_closed_form(alpha) + margin
+    v1 = bait_value(alpha)
+    v2 = total_value - v1
+    if v2 <= 0.0:  # pragma: no cover - impossible for alpha >= 2
+        raise InvalidParameterError(
+            f"alpha={alpha} makes the trap degenerate (squeeze value {v2} <= 0)"
+        )
+    return Instance(
+        (
+            Job(0.0, 2.0, 1.0, v1, name="bait"),
+            Job(1.0, 2.0, 1.0, v2, name="squeeze"),
+        ),
+        m=1,
+        alpha=alpha,
+    )

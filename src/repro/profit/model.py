@@ -1,0 +1,119 @@
+"""The profit objective of Pruhs & Stein and its relation to the paper's.
+
+Pruhs and Stein ("How to Schedule When You Have to Buy Your Energy",
+APPROX 2010 — reference [13] of the paper) *maximize profit*: the value of
+finished jobs minus the energy bought to finish them. Chan, Lam, and Li —
+and the paper we reproduce — *minimize loss*: energy plus the value of
+unfinished jobs. The two objectives are complementary on every schedule:
+
+    profit(S) + loss(S) = total value of all jobs,
+
+so the same schedule optimizes both, and an *offline* optimum for one is
+an offline optimum for the other. **Competitive ratios do not transfer**,
+though: a multiplicative guarantee on the loss says nothing multiplicative
+about the profit when the optimal profit is close to zero. This is the
+formal reason the paper's α^α loss guarantee coexists with Pruhs & Stein's
+impossibility result (no bounded profit-competitiveness without resource
+augmentation) — see :mod:`repro.profit.hard_instances` for the explicit
+family, and :mod:`repro.profit.augmented` for the augmentation remedy.
+
+This module defines the profit accounting and the exact offline profit
+optimum (reusing the (IMP) enumeration solver).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.pd import PDResult
+from ..model.job import Instance
+from ..model.schedule import Schedule
+from ..offline.optimal import solve_exact
+
+__all__ = [
+    "ProfitBreakdown",
+    "profit_of",
+    "profit_of_result",
+    "optimal_profit",
+    "loss_profit_gap",
+]
+
+
+@dataclass(frozen=True)
+class ProfitBreakdown:
+    """Profit of a schedule split into earned value and energy bought.
+
+    Attributes
+    ----------
+    earned_value:
+        Sum of values over finished jobs (the revenue).
+    energy:
+        Total energy of the schedule (the bill).
+    total_value:
+        Sum of values over *all* jobs — the conversion constant between
+        the profit and loss objectives.
+    """
+
+    earned_value: float
+    energy: float
+    total_value: float
+
+    @property
+    def profit(self) -> float:
+        """``earned_value - energy``; may legitimately be negative."""
+        return self.earned_value - self.energy
+
+    @property
+    def loss(self) -> float:
+        """The paper's objective on the same schedule (Equation (1))."""
+        return self.total_value - self.profit
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"profit {self.profit:.6g} = earned {self.earned_value:.6g} "
+            f"- energy {self.energy:.6g}"
+        )
+
+
+def profit_of(schedule: Schedule) -> ProfitBreakdown:
+    """Profit accounting for any schedule in the library.
+
+    Complementarity with the loss objective holds by construction:
+    ``profit_of(s).loss == s.cost`` for every schedule ``s`` (a property
+    test in ``tests/test_profit.py`` pins this down).
+    """
+    instance = schedule.instance
+    earned = float(instance.values[schedule.finished].sum())
+    return ProfitBreakdown(
+        earned_value=earned,
+        energy=schedule.energy,
+        total_value=instance.total_value,
+    )
+
+
+def profit_of_result(result: PDResult) -> ProfitBreakdown:
+    """Profit accounting for a PD run (convenience wrapper)."""
+    return profit_of(result.schedule)
+
+
+def optimal_profit(instance: Instance, **solver_kwargs) -> float:
+    """Exact maximum profit over all schedules (small ``n`` only).
+
+    By complementarity this is ``total_value - cost(OPT)``, so the (IMP)
+    enumeration solver of :mod:`repro.offline.optimal` does all the work.
+    The result can be negative only if every acceptance set loses money,
+    in which case rejecting everything is optimal and the profit is 0 —
+    the solver's reject-all incumbent guarantees this floor.
+    """
+    solution = solve_exact(instance, **solver_kwargs)
+    return instance.total_value - solution.cost
+
+
+def loss_profit_gap(schedule: Schedule) -> float:
+    """``|profit + loss - total_value|`` — zero up to float rounding.
+
+    Exposed as a first-class diagnostic so analysis reports and property
+    tests can assert the complementarity identity explicitly.
+    """
+    breakdown = profit_of(schedule)
+    return abs(breakdown.profit + schedule.cost - breakdown.total_value)

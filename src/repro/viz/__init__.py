@@ -1,0 +1,5 @@
+"""ASCII rendering of schedules (regenerates the paper's figures)."""
+
+from .ascii_art import gantt, interval_gantt, segment_gantt, speed_profile
+
+__all__ = ["gantt", "interval_gantt", "segment_gantt", "speed_profile"]

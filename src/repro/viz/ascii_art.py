@@ -1,0 +1,139 @@
+"""Text rendering of schedules — regenerates the paper's Figures 2 and 3.
+
+Everything here is pure string manipulation over the library's schedule
+objects: a per-processor Gantt chart (who runs where, dedicated vs. pool —
+Figure 2's content) and a speed-profile plot (speed over time per
+processor — Figure 3's content). No plotting dependency is needed; the
+benchmark harness embeds these renderings directly in its output and in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..chen.mcnaughton import Segment
+from ..chen.scheduler import IntervalSchedule
+from ..model.schedule import Schedule
+
+__all__ = ["gantt", "speed_profile", "interval_gantt", "segment_gantt"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def _job_char(job: int) -> str:
+    """Stable single-character label for a job id."""
+    alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+    return alphabet[job % len(alphabet)]
+
+
+def interval_gantt(
+    schedules: Sequence[IntervalSchedule], *, width: int = 72, m: int | None = None
+) -> str:
+    """Gantt chart of realized interval schedules (Figure 2 style).
+
+    Each processor is one row; letters identify jobs, ``.`` is idle.
+    Dedicated jobs appear as unbroken runs; pool jobs wrap across the
+    pool processors.
+    """
+    if not schedules:
+        return "(empty schedule)"
+    t0 = min(s.start for s in schedules)
+    t1 = max(s.end for s in schedules)
+    span = t1 - t0
+    procs = m
+    if procs is None:
+        procs = 1 + max(
+            (seg.processor for s in schedules for seg in s.segments), default=0
+        )
+    rows = [["."] * width for _ in range(procs)]
+    for s in schedules:
+        for seg in s.segments:
+            a = int(round((seg.start - t0) / span * width))
+            b = int(round((seg.end - t0) / span * width))
+            b = max(b, a + 1)
+            ch = _job_char(seg.job)
+            for x in range(a, min(b, width)):
+                rows[seg.processor][x] = ch
+    lines = [f"CPU {i + 1} |{''.join(row)}|" for i, row in enumerate(rows)]
+    axis = f"      {t0:<8.3g}{'':{max(0, width - 16)}}{t1:>8.3g}"
+    return "\n".join(lines + [axis])
+
+
+def gantt(schedule: Schedule, *, width: int = 72) -> str:
+    """Gantt chart of a full-horizon schedule."""
+    return interval_gantt(schedule.realize(), width=width, m=schedule.instance.m)
+
+
+def speed_profile(
+    schedule: Schedule,
+    *,
+    width: int = 72,
+    height: int = 8,
+    processor: int | None = None,
+) -> str:
+    """Block-character speed-over-time plot (Figure 3 style).
+
+    Plots the speed of the given processor rank (default: the sum over
+    processors, which on ``m == 1`` is just the speed). Columns sample
+    the horizon uniformly; rows quantize speed into ``height`` levels.
+    """
+    speeds = schedule.processor_speed_matrix()
+    grid = schedule.grid
+    t0, t1 = grid.span
+    span = t1 - t0
+
+    def speed_at(t: float) -> float:
+        k = grid.locate(min(max(t, t0), t1 - 1e-12))
+        col = speeds[:, k]
+        return float(col[processor]) if processor is not None else float(col.sum())
+
+    samples = [speed_at(t0 + (i + 0.5) / width * span) for i in range(width)]
+    peak = max(samples) if samples else 0.0
+    if peak <= 0.0:
+        return "(idle everywhere)"
+    lines: list[str] = []
+    for level in range(height, 0, -1):
+        row = []
+        for s in samples:
+            frac = s / peak * height - (level - 1)
+            idx = min(len(_BLOCKS) - 1, max(0, int(math.ceil(frac * (len(_BLOCKS) - 1)))))
+            row.append(_BLOCKS[idx] if frac > 0 else " ")
+        label = f"{peak * level / height:>7.3g} |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 8 + "-" * width)
+    lines.append(f"{'':8}{t0:<10.4g}{'':{max(0, width - 20)}}{t1:>10.4g}")
+    return "\n".join(lines)
+
+
+def segment_gantt(
+    segments: Sequence[Segment], *, width: int = 72, m: int | None = None
+) -> str:
+    """Gantt chart of a bare segment list (discrete schedules, policies).
+
+    Same rendering as :func:`interval_gantt` but for any iterable of
+    :class:`~repro.chen.mcnaughton.Segment` — the representation the
+    discrete substrate emits after two-level rounding, where one
+    continuous run becomes a fast part and a slow part.
+    """
+    segs = list(segments)
+    if not segs:
+        return "(empty schedule)"
+    t0 = min(s.start for s in segs)
+    t1 = max(s.end for s in segs)
+    span = t1 - t0
+    procs = m
+    if procs is None:
+        procs = 1 + max(seg.processor for seg in segs)
+    rows = [["."] * width for _ in range(procs)]
+    for seg in segs:
+        a = int(round((seg.start - t0) / span * width))
+        b = int(round((seg.end - t0) / span * width))
+        b = max(b, a + 1)
+        ch = _job_char(seg.job)
+        for x in range(a, min(b, width)):
+            rows[seg.processor][x] = ch
+    lines = [f"CPU {i + 1} |{''.join(row)}|" for i, row in enumerate(rows)]
+    axis = f"      {t0:<8.3g}{'':{max(0, width - 16)}}{t1:>8.3g}"
+    return "\n".join(lines + [axis])

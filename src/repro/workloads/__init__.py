@@ -1,0 +1,36 @@
+"""Workload generators: adversarial, random, and trace-like families."""
+
+from .datacenter import diurnal_instance, diurnal_intensity
+from .lowerbound import (
+    lower_bound_instance,
+    optimal_cost_closed_form,
+    pd_cost_closed_form,
+)
+from .random_instances import (
+    heavy_tail_instance,
+    poisson_instance,
+    uniform_instance,
+)
+from .structured import (
+    agreeable_instance,
+    batch_instance,
+    bursty_instance,
+    laminar_instance,
+    tight_instance,
+)
+
+__all__ = [
+    "lower_bound_instance",
+    "pd_cost_closed_form",
+    "optimal_cost_closed_form",
+    "poisson_instance",
+    "heavy_tail_instance",
+    "uniform_instance",
+    "diurnal_instance",
+    "diurnal_intensity",
+    "agreeable_instance",
+    "laminar_instance",
+    "batch_instance",
+    "tight_instance",
+    "bursty_instance",
+]

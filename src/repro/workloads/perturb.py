@@ -1,0 +1,86 @@
+"""Instance transformations for robustness testing.
+
+These operators perturb an existing instance in controlled ways; the
+robustness tests assert how each algorithm's cost responds (e.g. PD's
+cost is monotone under job addition, invariant under time shifts, and
+scales predictably under time/work scaling — the invariances the model's
+math promises).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from ..model.job import Instance, Job
+from ..types import Seed
+
+__all__ = [
+    "shift_time",
+    "jitter_values",
+    "add_job",
+    "drop_job",
+    "tighten_deadlines",
+]
+
+
+def shift_time(instance: Instance, offset: float) -> Instance:
+    """Translate every window by ``offset`` (must keep releases >= 0)."""
+    if offset < 0 and min(j.release for j in instance.jobs) + offset < 0:
+        raise InvalidParameterError("shift would produce a negative release")
+    return Instance(
+        tuple(
+            Job(j.release + offset, j.deadline + offset, j.workload, j.value, j.name)
+            for j in instance.jobs
+        ),
+        m=instance.m,
+        alpha=instance.alpha,
+    )
+
+
+def jitter_values(
+    instance: Instance, *, rel: float = 0.1, seed: Seed = None
+) -> Instance:
+    """Multiply each value by a factor in ``[1-rel, 1+rel]``."""
+    if not (0.0 <= rel < 1.0):
+        raise InvalidParameterError(f"rel must be in [0, 1), got {rel}")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    factors = rng.uniform(1.0 - rel, 1.0 + rel, size=instance.n)
+    return instance.with_values(
+        [j.value * float(f) for j, f in zip(instance.jobs, factors)]
+    )
+
+
+def add_job(instance: Instance, job: Job) -> Instance:
+    """Append one job."""
+    return Instance(instance.jobs + (job,), m=instance.m, alpha=instance.alpha)
+
+
+def drop_job(instance: Instance, job_id: int) -> Instance:
+    """Remove one job by id."""
+    if not (0 <= job_id < instance.n):
+        raise InvalidParameterError(f"job id {job_id} out of range")
+    jobs = instance.jobs[:job_id] + instance.jobs[job_id + 1 :]
+    if not jobs:
+        raise InvalidParameterError("cannot drop the last job")
+    return Instance(jobs, m=instance.m, alpha=instance.alpha)
+
+
+def tighten_deadlines(instance: Instance, factor: float) -> Instance:
+    """Shrink every window toward its release by ``factor`` in (0, 1]."""
+    if not (0.0 < factor <= 1.0):
+        raise InvalidParameterError(f"factor must be in (0, 1], got {factor}")
+    return Instance(
+        tuple(
+            Job(
+                j.release,
+                j.release + j.span * factor,
+                j.workload,
+                j.value,
+                j.name,
+            )
+            for j in instance.jobs
+        ),
+        m=instance.m,
+        alpha=instance.alpha,
+    )

@@ -1,0 +1,91 @@
+"""Tests for the Chan–Lam–Li baseline scheduler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.classical.yds import yds
+from repro.core.cll import cll_admits, run_cll
+from repro.core.pd import run_pd
+from repro.errors import InvalidParameterError
+from repro.model.job import Instance
+from repro.workloads import poisson_instance
+
+
+class TestAdmissionPredicate:
+    def test_threshold_form(self):
+        # alpha = 3: admit iff w * s^2 <= 3 * v.
+        assert cll_admits(workload=1.0, value=1.0, planned_speed=1.7, alpha=3.0)
+        assert not cll_admits(workload=1.0, value=1.0, planned_speed=1.8, alpha=3.0)
+
+    def test_alpha_two_threshold(self):
+        # alpha = 2: admit iff w * s <= v exactly (factor alpha^0 = 1).
+        assert cll_admits(workload=2.0, value=1.0, planned_speed=0.49, alpha=2.0)
+        assert not cll_admits(workload=2.0, value=1.0, planned_speed=0.51, alpha=2.0)
+
+
+class TestRunCLL:
+    def test_rejects_multiprocessor(self):
+        with pytest.raises(InvalidParameterError):
+            run_cll(Instance.classical([(0.0, 1.0, 1.0)], m=2))
+
+    def test_high_value_jobs_all_finished_at_oa_cost(self):
+        inst = Instance.classical(
+            [(0.0, 3.0, 1.0), (1.0, 4.0, 1.5), (2.0, 5.0, 0.5)], m=1, alpha=3.0
+        )
+        result = run_cll(inst)
+        result.schedule.validate()
+        assert result.accepted_mask.all()
+        assert result.cost >= yds(inst).energy - 1e-9
+
+    def test_worthless_job_rejected(self):
+        inst = Instance.from_tuples(
+            [(0.0, 1.0, 1.0, 1e-9), (0.0, 2.0, 1.0, 1e9)], m=1, alpha=3.0
+        )
+        result = run_cll(inst)
+        accepted = result.accepted_mask
+        assert not accepted[list(result.schedule.instance.arrival_order()).index(0)]
+        assert accepted.sum() == 1
+
+    def test_single_job_threshold_matches_pd(self):
+        """On a lone job CLL and PD implement the same rejection rule."""
+        for value in [0.1, 0.3, 0.35, 0.5, 2.0]:
+            inst = Instance.from_tuples([(0.0, 1.0, 1.0, value)], m=1, alpha=3.0)
+            assert bool(run_cll(inst).accepted_mask[0]) == bool(
+                run_pd(inst).accepted_mask[0]
+            )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_high_decision_agreement_with_pd(self, seed):
+        """Same policy, different planned schedules: decisions agree on
+        the overwhelming majority of jobs (the paper's Section 3 remark)."""
+        inst = poisson_instance(15, m=1, alpha=3.0, seed=seed)
+        pd = run_pd(inst)
+        cll = run_cll(inst.sorted_by_release())
+        agreement = float(np.mean(pd.accepted_mask == cll.accepted_mask))
+        assert agreement >= 0.8
+
+    def test_planned_speeds_recorded(self):
+        inst = poisson_instance(8, m=1, alpha=3.0, seed=3)
+        result = run_cll(inst.sorted_by_release())
+        assert (result.planned_speeds >= 0).all()
+        # Admitted jobs must satisfy the admission inequality at their
+        # recorded planned speed.
+        ordered = inst.sorted_by_release()
+        for j in range(ordered.n):
+            if result.accepted_mask[j]:
+                assert cll_admits(
+                    workload=ordered[j].workload,
+                    value=ordered[j].value,
+                    planned_speed=result.planned_speeds[j] * (1 - 1e-9),
+                    alpha=3.0,
+                )
+
+    def test_all_rejected_schedule_is_empty(self):
+        inst = Instance.from_tuples(
+            [(0.0, 1.0, 1.0, 1e-12), (0.5, 1.5, 1.0, 1e-12)], m=1, alpha=3.0
+        )
+        result = run_cll(inst)
+        assert not result.accepted_mask.any()
+        assert result.schedule.energy == 0.0

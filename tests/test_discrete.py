@@ -1,0 +1,443 @@
+"""Tests for the discrete speed-level substrate (:mod:`repro.discrete`).
+
+Covers the :class:`SpeedSet` value object, the envelope power function
+(including the classical optimality of two-adjacent-level emulation,
+checked against brute-force time splits over the whole menu), schedule
+rounding (work conservation, feasibility transfer, energy accounting),
+and the end-to-end ``run_pd_discrete`` pipeline with screening and
+graceful degradation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chen.mcnaughton import Segment
+from repro.core.pd import run_pd
+from repro.discrete import (
+    DiscreteEnvelopePower,
+    SpeedSet,
+    discretize_schedule,
+    discretize_segment,
+    envelope_energy,
+    menu_covering_schedule,
+    menu_infeasible_mask,
+    run_pd_discrete,
+    worst_overhead_factor,
+)
+from repro.errors import InvalidParameterError
+from repro.model.job import Instance
+from repro.model.power import PolynomialPower
+from repro.workloads.random_instances import poisson_instance
+
+SETTINGS = settings(max_examples=60, deadline=None, derandomize=True)
+
+
+# ---------------------------------------------------------------------------
+# SpeedSet
+# ---------------------------------------------------------------------------
+class TestSpeedSet:
+    def test_levels_sorted_and_deduplicated(self):
+        s = SpeedSet([2.0, 1.0, 2.0, 0.5])
+        assert s.levels == (0.5, 1.0, 2.0)
+        assert s.count == 3 and len(s) == 3
+
+    def test_rejects_nonpositive_and_nonfinite(self):
+        with pytest.raises(InvalidParameterError):
+            SpeedSet([1.0, 0.0])
+        with pytest.raises(InvalidParameterError):
+            SpeedSet([1.0, -2.0])
+        with pytest.raises(InvalidParameterError):
+            SpeedSet([1.0, math.inf])
+        with pytest.raises(InvalidParameterError):
+            SpeedSet([])
+
+    def test_geometric_grid_has_constant_ratio(self):
+        s = SpeedSet.geometric(0.5, 8.0, 5)
+        arr = s.as_array()
+        ratios = arr[1:] / arr[:-1]
+        assert np.allclose(ratios, ratios[0])
+        assert s.min_speed == pytest.approx(0.5)
+        assert s.max_speed == pytest.approx(8.0)
+        assert s.max_ratio == pytest.approx(ratios[0])
+
+    def test_linear_grid_is_equally_spaced(self):
+        s = SpeedSet.linear(1.0, 3.0, 5)
+        assert np.allclose(np.diff(s.as_array()), 0.5)
+
+    def test_single_level_constructors(self):
+        assert SpeedSet.geometric(0.1, 2.0, 1).levels == (2.0,)
+        assert SpeedSet.linear(0.1, 2.0, 1).levels == (2.0,)
+        assert SpeedSet([3.0]).max_ratio == 1.0
+
+    def test_constructor_validation(self):
+        with pytest.raises(InvalidParameterError):
+            SpeedSet.geometric(2.0, 1.0, 4)
+        with pytest.raises(InvalidParameterError):
+            SpeedSet.geometric(0.0, 1.0, 4)
+        with pytest.raises(InvalidParameterError):
+            SpeedSet.linear(1.0, 2.0, 0)
+
+    def test_membership_and_is_level(self):
+        s = SpeedSet([1.0, 2.0])
+        assert 1.0 in s and 2.0 in s
+        assert 1.5 not in s and "x" not in s
+        assert s.is_level(2.0 * (1 + 1e-12))
+        assert not s.is_level(1.999)
+        assert s.is_level(0.0)  # idle is always available
+
+    def test_bracket_interior_point(self):
+        s = SpeedSet([1.0, 2.0, 4.0])
+        b = s.bracket(3.0)
+        assert (b.lo, b.hi) == (2.0, 4.0)
+        assert b.average() == pytest.approx(3.0)
+
+    def test_bracket_exact_level_and_zero(self):
+        s = SpeedSet([1.0, 2.0])
+        b = s.bracket(2.0)
+        assert b.lo == b.hi == 2.0 and b.theta == 1.0
+        z = s.bracket(0.0)
+        assert z.average() == 0.0
+
+    def test_bracket_below_lowest_pairs_with_idle(self):
+        s = SpeedSet([1.0, 2.0])
+        b = s.bracket(0.25)
+        assert b.lo == 0.0 and b.hi == 1.0
+        assert b.theta == pytest.approx(0.25)
+
+    def test_bracket_above_top_raises(self):
+        s = SpeedSet([1.0, 2.0])
+        with pytest.raises(InvalidParameterError):
+            s.bracket(2.1)
+        with pytest.raises(InvalidParameterError):
+            s.bracket(-0.1)
+
+    def test_round_down_and_up(self):
+        s = SpeedSet([1.0, 2.0, 4.0])
+        assert s.round_down(3.0) == 2.0
+        assert s.round_down(0.5) == 0.0
+        assert s.round_down(2.0) == 2.0
+        assert s.round_up(3.0) == 4.0
+        assert s.round_up(0.5) == 1.0
+        assert s.round_up(2.0) == 2.0
+        with pytest.raises(InvalidParameterError):
+            s.round_up(5.0)
+
+    @given(
+        speed=st.floats(min_value=0.0, max_value=4.0),
+        count=st.integers(min_value=1, max_value=9),
+    )
+    @SETTINGS
+    def test_bracket_average_reproduces_speed(self, speed, count):
+        s = SpeedSet.geometric(0.25, 4.0, count)
+        b = s.bracket(speed)
+        assert b.average() == pytest.approx(speed, abs=1e-12)
+        assert 0.0 <= b.theta <= 1.0
+        assert b.lo <= b.hi
+
+
+# ---------------------------------------------------------------------------
+# Envelope power
+# ---------------------------------------------------------------------------
+class TestEnvelope:
+    def test_exact_at_levels(self):
+        s = SpeedSet([1.0, 2.0, 4.0])
+        p = PolynomialPower(3.0)
+        env = DiscreteEnvelopePower(s, p)
+        for level in s:
+            assert env(level) == pytest.approx(p(level))
+            assert env.overhead(level) == pytest.approx(1.0)
+
+    def test_strictly_above_continuous_between_levels(self):
+        env = DiscreteEnvelopePower(SpeedSet([1.0, 4.0]), PolynomialPower(3.0))
+        for speed in (1.5, 2.0, 3.0):
+            assert env(speed) > PolynomialPower(3.0)(speed)
+            assert env.overhead(speed) > 1.0
+
+    def test_linear_between_levels(self):
+        p = PolynomialPower(2.0)
+        env = DiscreteEnvelopePower(SpeedSet([1.0, 3.0]), p)
+        mid = env(2.0)
+        assert mid == pytest.approx((p(1.0) + p(3.0)) / 2.0)
+
+    def test_idle_segment_interpolates_to_zero(self):
+        env = DiscreteEnvelopePower(SpeedSet([2.0]), PolynomialPower(3.0))
+        # Half the window at level 2, half idle: average speed 1.
+        assert env(1.0) == pytest.approx(0.5 * 2.0**3)
+        assert env(0.0) == 0.0
+
+    def test_energy_and_helper(self):
+        s = SpeedSet([1.0, 2.0])
+        p = PolynomialPower(3.0)
+        env = DiscreteEnvelopePower(s, p)
+        assert env.energy(1.5, 2.0) == pytest.approx(env(1.5) * 2.0)
+        assert envelope_energy(s, p, 1.5, 2.0) == pytest.approx(env(1.5) * 2.0)
+        with pytest.raises(InvalidParameterError):
+            env.energy(1.0, -1.0)
+
+    def test_power_array_matches_scalar(self):
+        s = SpeedSet.geometric(0.5, 4.0, 5)
+        env = DiscreteEnvelopePower(s, PolynomialPower(2.5))
+        speeds = np.linspace(0.0, 4.0, 33)
+        vec = env.power_array(speeds)
+        scal = np.array([env(float(x)) for x in speeds])
+        assert np.allclose(vec, scal)
+
+    def test_power_array_rejects_overspeed(self):
+        env = DiscreteEnvelopePower(SpeedSet([1.0]), PolynomialPower(2.0))
+        with pytest.raises(InvalidParameterError):
+            env.power_array(np.array([0.5, 1.5]))
+
+    @given(
+        speed=st.floats(min_value=0.01, max_value=4.0),
+        alpha=st.sampled_from([1.5, 2.0, 3.0]),
+    )
+    @SETTINGS
+    def test_two_level_beats_every_three_level_split(self, speed, alpha):
+        """Brute-force optimality: no convex combination of menu levels
+        with the same average speed uses less power than the envelope."""
+        s = SpeedSet.geometric(0.25, 4.0, 5)
+        p = PolynomialPower(alpha)
+        env = DiscreteEnvelopePower(s, p)(speed)
+        levels = np.concatenate(([0.0], s.as_array()))
+        powers = np.array([p(float(v)) for v in levels])
+        # Sample random convex combinations matching the average speed:
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            weights = rng.dirichlet(np.ones(levels.size))
+            avg = float(weights @ levels)
+            if avg <= 0:
+                continue
+            scale = speed / avg
+            if scale > 1.0:  # cannot scale weights above a distribution
+                continue
+            # Mix with idle to match the target speed exactly.
+            mixed_power = scale * float(weights @ powers)
+            assert mixed_power >= env - 1e-9
+
+    def test_worst_overhead_factor_monotone_in_menu_size(self):
+        alphas = [2.0, 3.0]
+        for alpha in alphas:
+            factors = [
+                worst_overhead_factor(SpeedSet.geometric(0.5, 8.0, c), alpha)
+                for c in (2, 4, 8, 16)
+            ]
+            assert all(f >= 1.0 for f in factors)
+            assert factors == sorted(factors, reverse=True)
+            assert factors[-1] < factors[0]
+
+    def test_worst_overhead_factor_edges(self):
+        assert worst_overhead_factor(SpeedSet([2.0]), 3.0) == 1.0
+        with pytest.raises(InvalidParameterError):
+            worst_overhead_factor(SpeedSet([1.0, 2.0]), 1.0)
+
+
+# ---------------------------------------------------------------------------
+# Segment and schedule rounding
+# ---------------------------------------------------------------------------
+def _segment(speed: float, duration: float = 2.0) -> Segment:
+    return Segment(job=0, processor=0, start=1.0, end=1.0 + duration, speed=speed)
+
+
+class TestDiscretizeSegment:
+    def test_work_is_preserved_exactly(self):
+        s = SpeedSet([1.0, 2.0, 4.0])
+        seg = _segment(3.0)
+        parts = discretize_segment(seg, s)
+        assert sum(p.work for p in parts) == pytest.approx(seg.work, abs=1e-12)
+
+    def test_parts_tile_the_window(self):
+        s = SpeedSet([1.0, 4.0])
+        seg = _segment(2.0)
+        parts = discretize_segment(seg, s)
+        assert parts[0].start == seg.start
+        assert parts[-1].end <= seg.end + 1e-12
+        for a, b in zip(parts, parts[1:]):
+            assert a.end == pytest.approx(b.start)
+
+    def test_speeds_are_levels_fast_first(self):
+        s = SpeedSet([1.0, 4.0])
+        parts = discretize_segment(_segment(2.0), s)
+        assert [p.speed for p in parts] == [4.0, 1.0]
+
+    def test_below_lowest_level_emits_one_fast_part_and_idles(self):
+        s = SpeedSet([2.0])
+        seg = _segment(1.0, duration=2.0)  # work 2.0
+        parts = discretize_segment(seg, s)
+        assert len(parts) == 1
+        assert parts[0].speed == 2.0
+        assert parts[0].work == pytest.approx(seg.work)
+        assert parts[0].duration == pytest.approx(1.0)
+
+    def test_exact_level_passes_through(self):
+        s = SpeedSet([1.0, 2.0])
+        parts = discretize_segment(_segment(2.0), s)
+        assert len(parts) == 1 and parts[0].speed == 2.0
+        assert parts[0].duration == pytest.approx(2.0)
+
+    def test_zero_speed_or_duration_yields_nothing(self):
+        s = SpeedSet([1.0])
+        assert discretize_segment(_segment(0.0), s) == []
+        assert discretize_segment(_segment(1.0, duration=0.0), s) == []
+
+    def test_overspeed_raises(self):
+        s = SpeedSet([1.0])
+        with pytest.raises(InvalidParameterError):
+            discretize_segment(_segment(1.5), s)
+
+    @given(
+        speed=st.floats(min_value=0.05, max_value=4.0),
+        duration=st.floats(min_value=0.05, max_value=5.0),
+    )
+    @SETTINGS
+    def test_energy_equals_envelope(self, speed, duration):
+        s = SpeedSet.geometric(0.25, 4.0, 6)
+        p = PolynomialPower(3.0)
+        seg = _segment(speed, duration=duration)
+        parts = discretize_segment(seg, s)
+        energy = sum(p(q.speed) * q.duration for q in parts)
+        assert energy == pytest.approx(
+            DiscreteEnvelopePower(s, p)(speed) * duration, rel=1e-9
+        )
+
+
+class TestDiscretizeSchedule:
+    @pytest.fixture
+    def result(self):
+        inst = poisson_instance(
+            n=10, m=2, alpha=3.0, seed=7, arrival_rate=2.5
+        )
+        return run_pd(inst)
+
+    def test_roundtrip_validates(self, result):
+        menu = menu_covering_schedule(result, 8)
+        d = discretize_schedule(result.schedule, menu)
+        d.validate()
+
+    def test_energy_at_least_continuous(self, result):
+        menu = menu_covering_schedule(result, 6)
+        d = discretize_schedule(result.schedule, menu)
+        assert d.energy >= d.continuous_energy - 1e-12
+        assert d.overhead >= 1.0
+
+    def test_cost_adds_unchanged_lost_value(self, result):
+        menu = menu_covering_schedule(result, 6)
+        d = discretize_schedule(result.schedule, menu)
+        assert d.lost_value == pytest.approx(result.schedule.lost_value)
+        assert d.cost == pytest.approx(d.energy + d.lost_value)
+
+    def test_overhead_bounded_by_envelope_factor(self, result):
+        for count in (2, 4, 8, 16):
+            menu = menu_covering_schedule(result, count)
+            d = discretize_schedule(result.schedule, menu)
+            bound = worst_overhead_factor(menu, result.schedule.instance.alpha)
+            assert d.overhead <= bound + 1e-9
+
+    def test_overhead_vanishes_as_menu_refines(self, result):
+        overheads = [
+            discretize_schedule(
+                result.schedule, menu_covering_schedule(result, c)
+            ).overhead
+            for c in (2, 16, 256)
+        ]
+        assert overheads[2] < overheads[1] < overheads[0]
+        assert overheads[2] < 1.001
+
+    def test_work_per_job_matches_loads(self, result):
+        menu = menu_covering_schedule(result, 5)
+        d = discretize_schedule(result.schedule, menu)
+        want = result.schedule.work_done()
+        got = d.work_by_job()
+        for j, w in enumerate(want):
+            assert got.get(j, 0.0) == pytest.approx(w, abs=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# run_pd_discrete end-to-end
+# ---------------------------------------------------------------------------
+class TestRunPDDiscrete:
+    def test_no_screening_on_covering_menu(self):
+        inst = poisson_instance(n=8, m=2, alpha=3.0, seed=3)
+        cont = run_pd(inst)
+        menu = menu_covering_schedule(cont, 12)
+        res = run_pd_discrete(inst, menu)
+        assert res.screened_ids == ()
+        assert res.cost >= cont.cost - 1e-12
+        res.discrete.validate()
+
+    def test_infeasible_mask_flags_dense_jobs(self):
+        inst = Instance.from_tuples(
+            [(0.0, 1.0, 5.0, 1.0), (0.0, 2.0, 1.0, 1.0)], m=1, alpha=3.0
+        )
+        mask = menu_infeasible_mask(inst, SpeedSet([2.0]))
+        assert mask.tolist() == [True, False]
+
+    def test_screened_job_pays_value(self):
+        inst = Instance.from_tuples(
+            [(0.0, 1.0, 5.0, 7.5), (0.0, 2.0, 0.5, 100.0)], m=1, alpha=3.0
+        )
+        res = run_pd_discrete(inst, SpeedSet([1.0]))
+        assert res.screened_ids == (0,)
+        assert res.screened_value == pytest.approx(7.5)
+        assert res.cost >= 7.5
+
+    def test_all_jobs_screened_raises(self):
+        inst = Instance.from_tuples([(0.0, 1.0, 5.0, 1.0)], m=1, alpha=3.0)
+        with pytest.raises(InvalidParameterError):
+            run_pd_discrete(inst, SpeedSet([1.0]))
+
+    def test_degradation_drops_stacked_jobs(self):
+        # Two individually feasible jobs that stack above the cap: each has
+        # density 0.9 <= 1, but both live in [0,1) on one processor.
+        inst = Instance.from_tuples(
+            [(0.0, 1.0, 0.9, 50.0), (0.0, 1.0, 0.9, 40.0)], m=1, alpha=3.0
+        )
+        res = run_pd_discrete(inst, SpeedSet([1.0]))
+        # The cheaper job is degraded away; the expensive one survives.
+        assert res.screened_ids == (1,)
+        assert res.accepted_original_ids == (0,)
+        res.discrete.validate()
+
+    def test_summary_mentions_menu_and_overhead(self):
+        inst = poisson_instance(n=5, m=1, alpha=2.0, seed=1)
+        cont = run_pd(inst)
+        menu = menu_covering_schedule(cont, 4)
+        text = run_pd_discrete(inst, menu).summary()
+        assert "level" in text and "overhead" in text
+
+    def test_menu_covering_rejects_empty_schedule(self):
+        inst = Instance.from_tuples(
+            [(0.0, 1.0, 1.0, 1e-9)], m=1, alpha=3.0
+        )  # value so small the job is rejected
+        res = run_pd(inst)
+        assert not res.accepted_mask.any()
+        with pytest.raises(InvalidParameterError):
+            menu_covering_schedule(res, 4)
+
+    def test_single_level_menu_runs(self):
+        inst = Instance.from_tuples(
+            [(0.0, 4.0, 1.0, 10.0), (1.0, 5.0, 0.5, 10.0)], m=2, alpha=3.0
+        )
+        res = run_pd_discrete(inst, SpeedSet([2.0]))
+        assert res.screened_ids == ()
+        res.discrete.validate()
+        # Everything runs at the single level.
+        assert {seg.speed for seg in res.discrete.segments} == {2.0}
+
+    @given(seed=st.integers(min_value=0, max_value=15))
+    @SETTINGS
+    def test_pipeline_invariants_random(self, seed):
+        inst = poisson_instance(n=7, m=2, alpha=3.0, seed=seed)
+        cont = run_pd(inst)
+        menu = menu_covering_schedule(cont, 10)
+        res = run_pd_discrete(inst, menu)
+        res.discrete.validate()
+        assert res.overhead >= 1.0 - 1e-12
+        bound = worst_overhead_factor(menu, 3.0)
+        assert res.overhead <= bound + 1e-9
+        # End-to-end: discrete cost within overhead factor of continuous.
+        assert res.cost <= bound * cont.cost + 1e-9

@@ -1,0 +1,60 @@
+"""Living-documentation tests: every tutorial snippet must execute.
+
+``docs/tutorial.md`` promises copy-pasteable snippets; this module
+extracts each fenced ``python`` block and runs them in order in a shared
+namespace (as a reader following along would). A snippet that raises
+fails the build, so the tutorial cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import re
+from pathlib import Path
+
+import pytest
+
+DOCS = Path(__file__).resolve().parent.parent / "docs"
+
+
+def _blocks(name: str) -> list[str]:
+    text = (DOCS / name).read_text()
+    return re.findall(r"```python\n(.*?)```", text, re.S)
+
+
+def test_tutorial_snippets_run_in_order():
+    blocks = _blocks("tutorial.md")
+    assert len(blocks) >= 8, "tutorial lost its snippets"
+    namespace: dict = {}
+    for i, block in enumerate(blocks):
+        try:
+            with contextlib.redirect_stdout(io.StringIO()):
+                exec(block, namespace)  # noqa: S102 - the point of the test
+        except Exception as exc:  # pragma: no cover - failure reporting
+            pytest.fail(f"tutorial block {i} raised {type(exc).__name__}: {exc}")
+
+
+def test_docs_reference_only_real_modules():
+    """Module paths mentioned in the docs must exist (no phantom docs)."""
+    import importlib
+
+    pattern = re.compile(r"`repro\.([a-z_.]+)`")
+    seen = set()
+    for doc in DOCS.glob("*.md"):
+        for match in pattern.finditer(doc.read_text()):
+            dotted = f"repro.{match.group(1)}".rstrip(".")
+            if dotted in seen:
+                continue
+            seen.add(dotted)
+            parts = dotted.split(".")
+            # Try module import; fall back to attribute of parent module.
+            try:
+                importlib.import_module(dotted)
+                continue
+            except ImportError:
+                pass
+            parent = ".".join(parts[:-1])
+            mod = importlib.import_module(parent)
+            assert hasattr(mod, parts[-1]), f"docs mention phantom {dotted}"
+    assert seen, "no module references found in docs — regex broken?"

@@ -1,0 +1,53 @@
+"""Smoke tests: the example scripts must stay runnable.
+
+Examples are the library's living documentation; a broken example is a
+broken promise. Each fast example is executed in-process (``runpy``)
+with stdout captured and sanity-checked for its headline output. The
+four slow examples (10–35 s each: ``datacenter_profit``,
+``hindsight_regret``, ``lowerbound_tightness``, ``admission_policies``)
+are exercised by the benchmarks and the CI-style full runs instead —
+keeping this module's budget around ten seconds.
+"""
+
+from __future__ import annotations
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+#: (script, substring its stdout must contain)
+FAST_EXAMPLES = [
+    ("quickstart.py", "certificate"),
+    ("online_stream.py", ""),
+    ("figure2_chen_structure.py", ""),
+    ("figure3_pd_vs_oa.py", ""),
+    ("algorithm_shootout.py", ""),
+    ("admission_curve.py", ""),
+    ("discrete_speeds.py", "menu"),
+    ("profit_vs_loss.py", "margin"),
+    ("adversary_hunt.py", "bound"),
+    ("leakage_power.py", "leak"),
+]
+
+
+@pytest.mark.parametrize("script,marker", FAST_EXAMPLES)
+def test_example_runs(script, marker, capsys):
+    path = EXAMPLES / script
+    assert path.exists(), f"missing example {script}"
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} printed nothing"
+    if marker:
+        assert marker in out, f"{script} output lacks {marker!r}"
+
+
+def test_every_example_has_module_docstring():
+    for path in sorted(EXAMPLES.glob("*.py")):
+        head = path.read_text().lstrip()
+        assert head.startswith('#!') or head.startswith('"""'), path.name
+        assert '"""' in head.split("\n\n")[0] or head.count('"""') >= 2, (
+            f"{path.name} lacks a docstring"
+        )

@@ -1,0 +1,204 @@
+"""Tests for the generalized power-function substrate (:mod:`repro.general`).
+
+Anchors: :class:`SumPower` must satisfy the PowerFunction protocol to
+machine precision (analytic derivative vs finite differences, Newton
+inverse vs the derivative); the generalized PD must degenerate *exactly*
+to the polynomial run when the mix collapses to one monomial; and the
+generalized dual value must respect weak duality on instances whose
+optimum has a closed form.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Instance, run_pd
+from repro.core.pd import PDScheduler
+from repro.errors import InvalidParameterError
+from repro.general import (
+    SumPower,
+    energy_with_power,
+    general_dual_bound,
+    run_pd_general,
+)
+from repro.model.power import PolynomialPower
+from repro.workloads.random_instances import poisson_instance
+
+SETTINGS = settings(max_examples=50, deadline=None, derandomize=True)
+
+CUBE_LEAK = SumPower([1.0, 0.5], [3.0, 1.0])
+DELTA = 3.0 ** (1.0 - 3.0)
+
+
+# ---------------------------------------------------------------------------
+# SumPower protocol compliance
+# ---------------------------------------------------------------------------
+class TestSumPower:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            SumPower([], [])
+        with pytest.raises(InvalidParameterError):
+            SumPower([1.0], [3.0, 2.0])
+        with pytest.raises(InvalidParameterError):
+            SumPower([-1.0], [3.0])
+        with pytest.raises(InvalidParameterError):
+            SumPower([1.0], [0.5])  # concave term
+        with pytest.raises(InvalidParameterError):
+            SumPower([1.0], [1.0])  # no strictly convex part
+        with pytest.raises(InvalidParameterError):
+            SumPower([math.inf], [3.0])
+
+    def test_values_and_zero(self):
+        p = CUBE_LEAK
+        assert p(0.0) == 0.0
+        assert p(-1.0) == 0.0
+        assert p(2.0) == pytest.approx(8.0 + 1.0)
+
+    def test_marginal_at_zero(self):
+        assert CUBE_LEAK.marginal_at_zero == pytest.approx(0.5)
+        assert SumPower([2.0], [3.0]).marginal_at_zero == 0.0
+
+    @given(speed=st.floats(min_value=1e-3, max_value=50.0))
+    @SETTINGS
+    def test_derivative_matches_finite_difference(self, speed):
+        p = CUBE_LEAK
+        h = 1e-6 * max(speed, 1.0)
+        numeric = (p(speed + h) - p(speed - h)) / (2.0 * h)
+        assert p.derivative(speed) == pytest.approx(numeric, rel=1e-5)
+
+    @given(
+        speed=st.floats(min_value=1e-3, max_value=50.0),
+        c_lin=st.sampled_from([0.0, 0.3, 2.0]),
+        a_hi=st.sampled_from([1.5, 2.0, 3.0, 4.5]),
+    )
+    @SETTINGS
+    def test_derivative_inverse_roundtrip(self, speed, c_lin, a_hi):
+        coeffs = [1.0] + ([c_lin] if c_lin > 0 else [])
+        exps = [a_hi] + ([1.0] if c_lin > 0 else [])
+        p = SumPower(coeffs, exps)
+        marginal = p.derivative(speed)
+        assert p.derivative_inverse(marginal) == pytest.approx(speed, rel=1e-8)
+
+    def test_inverse_below_zero_marginal(self):
+        p = CUBE_LEAK
+        assert p.derivative_inverse(0.0) == 0.0
+        # Below the leakage floor P'(0+) = 0.5 there is no positive speed.
+        assert p.derivative_inverse(0.4) == 0.0
+        assert p.derivative_inverse(0.5) == 0.0
+
+    def test_power_array_matches_scalar(self):
+        p = CUBE_LEAK
+        speeds = np.linspace(0.0, 5.0, 17)
+        assert np.allclose(p.power_array(speeds), [p(float(s)) for s in speeds])
+
+    def test_energy_helper(self):
+        assert CUBE_LEAK.energy(2.0, 3.0) == pytest.approx(27.0)
+        with pytest.raises(InvalidParameterError):
+            CUBE_LEAK.energy(1.0, -1.0)
+
+
+# ---------------------------------------------------------------------------
+# Generalized PD
+# ---------------------------------------------------------------------------
+class TestRunPDGeneral:
+    def test_degenerates_to_polynomial_exactly(self):
+        inst = poisson_instance(8, m=2, alpha=3.0, seed=5)
+        gen = run_pd_general(inst, SumPower([1.0], [3.0]), delta=DELTA)
+        ref = run_pd(inst)
+        assert gen.cost == pytest.approx(ref.cost, rel=1e-12)
+        assert np.array_equal(gen.accepted_mask, ref.accepted_mask)
+        assert np.allclose(gen.lambdas, ref.lambdas)
+
+    def test_requires_delta(self):
+        inst = poisson_instance(3, m=1, alpha=3.0, seed=0)
+        with pytest.raises(InvalidParameterError):
+            run_pd_general(inst, CUBE_LEAK, delta=None)
+        with pytest.raises(InvalidParameterError):
+            run_pd_general(inst, CUBE_LEAK, delta=0.0)
+        with pytest.raises(InvalidParameterError):
+            PDScheduler(m=1, alpha=3.0, power=CUBE_LEAK)
+
+    def test_energy_billed_with_general_power(self):
+        inst = poisson_instance(6, m=1, alpha=3.0, seed=2)
+        gen = run_pd_general(inst, CUBE_LEAK, delta=DELTA)
+        assert gen.energy == pytest.approx(
+            energy_with_power(gen.schedule, CUBE_LEAK), rel=1e-12
+        )
+        # Leakage makes every positive-speed segment dearer than the
+        # pure cube rule run on the same loads.
+        cube_only = energy_with_power(gen.schedule, PolynomialPower(3.0))
+        assert gen.energy > cube_only
+
+    def test_leakage_discourages_admission(self):
+        """With a heavy linear term, slow-and-long processing is no
+        longer nearly free, so borderline jobs flip to rejection."""
+        inst = Instance.from_tuples(
+            [(0.0, 10.0, 1.0, 0.7)], m=1, alpha=3.0
+        )
+        no_leak = run_pd_general(inst, SumPower([1.0], [3.0]), delta=DELTA)
+        heavy_leak = run_pd_general(
+            inst, SumPower([1.0, 20.0], [3.0, 1.0]), delta=DELTA
+        )
+        assert bool(no_leak.accepted_mask[0])
+        assert not bool(heavy_leak.accepted_mask[0])
+
+    def test_summary(self):
+        inst = poisson_instance(4, m=1, alpha=3.0, seed=1)
+        text = run_pd_general(inst, CUBE_LEAK, delta=DELTA).summary()
+        assert "General-power PD" in text and "accepted" in text
+
+    @given(seed=st.integers(min_value=0, max_value=10))
+    @SETTINGS
+    def test_schedule_valid_random(self, seed):
+        inst = poisson_instance(6, m=2, alpha=3.0, seed=seed)
+        gen = run_pd_general(inst, CUBE_LEAK, delta=DELTA)
+        gen.schedule.validate()
+        assert gen.cost >= 0.0
+
+
+# ---------------------------------------------------------------------------
+# Generalized duality
+# ---------------------------------------------------------------------------
+class TestGeneralDuality:
+    def test_matches_polynomial_certificate_when_degenerate(self):
+        from repro.analysis.certificates import dual_certificate
+
+        inst = poisson_instance(7, m=2, alpha=3.0, seed=3)
+        gen = run_pd_general(inst, SumPower([1.0], [3.0]), delta=DELTA)
+        bound = general_dual_bound(gen)
+        ref = dual_certificate(run_pd(inst))
+        assert bound.g == pytest.approx(ref.g, rel=1e-9)
+        assert bound.ratio == pytest.approx(ref.ratio, rel=1e-9)
+
+    def test_weak_duality_single_job_closed_form(self):
+        p = CUBE_LEAK
+        for span, w, v in [(2.0, 1.5, 3.0), (1.0, 1.0, 0.2), (4.0, 0.5, 50.0)]:
+            inst = Instance.from_tuples([(0.0, span, w, v)], m=1, alpha=3.0)
+            gen = run_pd_general(inst, p, delta=DELTA)
+            bound = general_dual_bound(gen)
+            opt = min(v, span * p(w / span))
+            assert bound.g <= opt + 1e-9, (span, w, v)
+            assert gen.cost <= opt + 1e-6 or gen.cost >= opt  # sanity
+
+    def test_weak_duality_disjoint_jobs_additive(self):
+        p = CUBE_LEAK
+        rows = [(0.0, 1.0, 0.8, 2.0), (2.0, 3.5, 1.2, 0.3), (5.0, 6.0, 0.5, 9.0)]
+        inst = Instance.from_tuples(rows, m=1, alpha=3.0)
+        gen = run_pd_general(inst, p, delta=DELTA)
+        bound = general_dual_bound(gen)
+        opt = sum(min(v, (d - r) * p(w / (d - r))) for r, d, w, v in rows)
+        assert bound.g <= opt + 1e-9
+        assert gen.cost >= opt - 1e-9  # OPT really is optimal here
+
+    @given(seed=st.integers(min_value=0, max_value=12))
+    @SETTINGS
+    def test_dual_value_positive_and_ratio_finite(self, seed):
+        inst = poisson_instance(6, m=2, alpha=3.0, seed=seed)
+        gen = run_pd_general(inst, CUBE_LEAK, delta=DELTA)
+        bound = general_dual_bound(gen)
+        assert bound.holds
+        assert bound.ratio >= 1.0 - 1e-9  # g <= OPT <= cost(PD)

@@ -1,0 +1,66 @@
+"""Tests for the hindsight regret decomposition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.hindsight import hindsight_decomposition
+from repro.core.pd import run_pd
+from repro.errors import InvalidParameterError
+from repro.model.job import Instance
+from repro.workloads import poisson_instance
+
+
+class TestDecomposition:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_regrets_nonnegative_and_additive(self, seed):
+        inst = poisson_instance(7, m=1, alpha=2.0, seed=seed)
+        result = run_pd(inst)
+        d = hindsight_decomposition(result)
+        assert d.placement_regret >= -1e-7
+        assert d.admission_regret is not None
+        assert d.admission_regret >= -1e-6 * max(1.0, d.opt_cost)
+        # Exact additivity by construction.
+        assert d.placement_regret + d.admission_regret == pytest.approx(
+            d.total_regret, abs=1e-9
+        )
+
+    def test_batch_instance_has_no_placement_regret(self):
+        """All jobs arrive at once: PD's placement is offline-optimal."""
+        inst = Instance.classical(
+            [(0.0, 1.0, 1.0), (0.0, 2.0, 1.0), (0.0, 4.0, 2.0)], m=1, alpha=3.0
+        )
+        d = hindsight_decomposition(run_pd(inst))
+        assert d.placement_regret == pytest.approx(0.0, abs=1e-5)
+        assert d.total_regret == pytest.approx(0.0, abs=1e-5)
+
+    def test_large_instance_skips_exact(self):
+        inst = poisson_instance(20, m=2, alpha=3.0, seed=0)
+        d = hindsight_decomposition(run_pd(inst))
+        assert d.opt_cost is None
+        assert d.admission_regret is None
+        assert d.placement_regret >= -1e-6
+        assert "too large" in d.summary()
+
+    def test_forced_exact_on_large_instance_guarded(self):
+        inst = poisson_instance(20, m=1, alpha=2.0, seed=1)
+        with pytest.raises(InvalidParameterError):
+            hindsight_decomposition(run_pd(inst), exact=True)
+
+    def test_forbidden_exact(self):
+        inst = poisson_instance(6, m=1, alpha=2.0, seed=2)
+        d = hindsight_decomposition(run_pd(inst), exact=False)
+        assert d.opt_cost is None
+
+    def test_summary_contains_numbers(self):
+        inst = poisson_instance(6, m=1, alpha=2.0, seed=3)
+        d = hindsight_decomposition(run_pd(inst))
+        text = d.summary()
+        assert f"{d.pd_cost:.6f}" in text
+        assert "admission regret" in text
+
+    def test_total_regret_bounded_by_theorem(self):
+        for seed in range(4):
+            inst = poisson_instance(6, m=1, alpha=2.0, seed=seed)
+            d = hindsight_decomposition(run_pd(inst))
+            assert d.pd_cost <= 4.0 * d.opt_cost * (1 + 1e-6) + 1e-9

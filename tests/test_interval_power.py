@@ -1,0 +1,216 @@
+"""Tests for the interval energy ``P_k``, its gradient, and water queries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chen.interval_power import (
+    SortedLoads,
+    added_job_speed,
+    interval_energy,
+    interval_energy_gradient,
+    job_speeds,
+    max_load_at_speed,
+    pool_level,
+)
+from repro.errors import InvalidParameterError
+from repro.model.power import PolynomialPower
+
+from conftest import numeric_gradient
+
+loads_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=20.0), min_size=0, max_size=10
+)
+pos_loads_strategy = st.lists(
+    st.floats(min_value=0.01, max_value=20.0), min_size=1, max_size=10
+)
+m_strategy = st.integers(min_value=1, max_value=6)
+alpha_strategy = st.sampled_from([1.5, 2.0, 2.5, 3.0])
+
+
+class TestIntervalEnergy:
+    def test_zero_loads_zero_energy(self):
+        p = PolynomialPower(3.0)
+        assert interval_energy(np.zeros(4), 2, 1.0, p) == 0.0
+
+    def test_single_processor_closed_form(self):
+        # On one processor everything pools: E = l * (U/l)^alpha.
+        p = PolynomialPower(3.0)
+        loads = np.array([1.0, 2.0, 0.5])
+        lk = 2.0
+        expected = lk * (loads.sum() / lk) ** 3
+        assert interval_energy(loads, 1, lk, p) == pytest.approx(expected)
+
+    def test_paper_equation6(self):
+        # m=2, loads [5,3,1]: dedicated {5}, pool {3,1} on one processor.
+        p = PolynomialPower(3.0)
+        expected = 1.0 * 5.0**3 + 1.0 * 4.0**3
+        assert interval_energy(np.array([5.0, 3.0, 1.0]), 2, 1.0, p) == pytest.approx(
+            expected
+        )
+
+    def test_invalid_length(self):
+        with pytest.raises(InvalidParameterError):
+            interval_energy(np.array([1.0]), 1, 0.0, PolynomialPower(2.0))
+
+    @given(loads=loads_strategy, m=m_strategy, alpha=alpha_strategy)
+    @settings(max_examples=150)
+    def test_energy_nonnegative_and_monotone_in_m(self, loads, m, alpha):
+        """More processors can only lower the minimal energy."""
+        p = PolynomialPower(alpha)
+        arr = np.array(loads)
+        e_m = interval_energy(arr, m, 1.0, p)
+        e_m1 = interval_energy(arr, m + 1, 1.0, p)
+        assert e_m >= -1e-12
+        assert e_m1 <= e_m + 1e-9
+
+    @given(loads=pos_loads_strategy, m=m_strategy, alpha=alpha_strategy)
+    @settings(max_examples=150)
+    def test_convexity_along_random_segment(self, loads, m, alpha):
+        """P_k is convex: midpoint value at most the average of endpoints."""
+        p = PolynomialPower(alpha)
+        a = np.array(loads)
+        rng = np.random.default_rng(42)
+        b = a * rng.uniform(0.0, 2.0, size=a.size)
+        mid = 0.5 * (a + b)
+        e_mid = interval_energy(mid, m, 1.0, p)
+        e_avg = 0.5 * (
+            interval_energy(a, m, 1.0, p) + interval_energy(b, m, 1.0, p)
+        )
+        assert e_mid <= e_avg + 1e-7 * max(1.0, e_avg)
+
+    @given(loads=pos_loads_strategy, m=m_strategy)
+    @settings(max_examples=100)
+    def test_energy_is_minimum_over_explicit_schedules(self, loads, m):
+        """P_k never exceeds the energy of the naive one-job-per-speed plan."""
+        p = PolynomialPower(3.0)
+        arr = np.array(loads)
+        # Naive comparison plan: each of the (<= m) largest jobs alone at
+        # constant speed, rest bunched on the last processor.
+        arr_sorted = np.sort(arr)[::-1]
+        own = arr_sorted[: m - 1] if m > 1 else np.array([])
+        rest = arr_sorted[m - 1 :].sum() if m >= 1 else 0.0
+        naive = float(np.sum(own**3)) + rest**3
+        assert interval_energy(arr, m, 1.0, p) <= naive + 1e-7 * max(1.0, naive)
+
+
+class TestGradient:
+    @given(loads=pos_loads_strategy, m=m_strategy, alpha=alpha_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_gradient_matches_finite_differences(self, loads, m, alpha):
+        """Proposition 1(b): dP_k/du_j = P'(s_j), checked numerically."""
+        p = PolynomialPower(alpha)
+        arr = np.array(loads)
+        lk = 1.3
+        grad = interval_energy_gradient(arr, m, lk, p)
+        num = numeric_gradient(lambda x: interval_energy(x, m, lk, p), arr)
+        np.testing.assert_allclose(grad, num, rtol=5e-4, atol=5e-4)
+
+    def test_zero_load_prices_at_pool_level(self):
+        p = PolynomialPower(3.0)
+        loads = np.array([5.0, 3.0, 1.0, 0.0])
+        grad = interval_energy_gradient(loads, 2, 1.0, p)
+        # Pool level is 4.0 -> marginal 3 * 16 = 48 for the zero-load job.
+        assert grad[3] == pytest.approx(p.derivative(4.0))
+
+    def test_gradient_speeds_match_job_speeds(self):
+        p = PolynomialPower(2.5)
+        loads = np.array([5.0, 3.0, 1.0])
+        g = interval_energy_gradient(loads, 2, 2.0, p)
+        s = job_speeds(loads, 2, 2.0)
+        np.testing.assert_allclose(g, p.derivative_array(s))
+
+
+class TestPoolLevel:
+    def test_existing_pool(self):
+        assert pool_level(np.array([5.0, 3.0, 1.0]), 2) == pytest.approx(4.0)
+
+    def test_all_dedicated_forces_new_pool(self):
+        # m=2, loads [5, 3]: both dedicated; a new infinitesimal job would
+        # share with the 3-load job at level 3.
+        assert pool_level(np.array([5.0, 3.0]), 2) == pytest.approx(3.0)
+
+    def test_idle_processor_gives_zero_level(self):
+        assert pool_level(np.array([5.0]), 2) == 0.0
+        assert pool_level(np.array([]), 3) == 0.0
+
+    @given(loads=loads_strategy, m=m_strategy)
+    @settings(max_examples=200)
+    def test_matches_tiny_job_limit(self, loads, m):
+        arr = np.array(loads)
+        level = pool_level(arr, m)
+        s = added_job_speed(arr, 1e-9, m, 1.0)
+        assert s == pytest.approx(level, abs=1e-6)
+
+
+class TestWaterQueries:
+    @given(
+        loads=loads_strategy,
+        m=m_strategy,
+        target=st.floats(min_value=0.01, max_value=50.0),
+    )
+    @settings(max_examples=300)
+    def test_inversion_consistency(self, loads, m, target):
+        """max_load_at_speed returns the exact inverse of added_job_speed."""
+        arr = np.array(loads)
+        z = max_load_at_speed(arr, target, m, 1.0)
+        if z > 1e-9:
+            s = added_job_speed(arr, z, m, 1.0)
+            assert s <= target * (1.0 + 1e-7)
+        # A slightly larger load must exceed the target.
+        bump = max(z * 1e-6, 1e-9)
+        s_plus = added_job_speed(arr, z + bump, m, 1.0)
+        assert s_plus >= target * (1.0 - 1e-5) or z == 0.0
+
+    @given(loads=loads_strategy, m=m_strategy)
+    @settings(max_examples=150)
+    def test_added_speed_monotone_in_z(self, loads, m):
+        arr = np.array(loads)
+        zs = [0.1, 0.5, 1.0, 5.0, 20.0]
+        speeds = [added_job_speed(arr, z, m, 1.0) for z in zs]
+        assert all(b >= a - 1e-9 for a, b in zip(speeds, speeds[1:]))
+
+    @given(
+        loads=loads_strategy,
+        m=m_strategy,
+        t1=st.floats(min_value=0.01, max_value=20.0),
+        t2=st.floats(min_value=0.01, max_value=20.0),
+    )
+    @settings(max_examples=150)
+    def test_max_load_monotone_in_target(self, loads, m, t1, t2):
+        arr = np.array(loads)
+        lo, hi = min(t1, t2), max(t1, t2)
+        assert max_load_at_speed(arr, lo, m, 1.0) <= max_load_at_speed(
+            arr, hi, m, 1.0
+        ) + 1e-9
+
+    def test_zero_target_zero_load(self):
+        assert max_load_at_speed(np.array([1.0]), 0.0, 2, 1.0) == 0.0
+
+    def test_dedicated_regime(self):
+        # Empty machine: any target is achieved by a dedicated job.
+        assert max_load_at_speed(np.array([]), 2.0, 1, 3.0) == pytest.approx(6.0)
+
+    def test_pool_regime(self):
+        # Loads [4,2,1] on m=3: level for target 2.5 dedicates {4},
+        # pool balance (3 + z) / 2 = 2.5 -> z = 2.
+        z = max_load_at_speed(np.array([4.0, 2.0, 1.0]), 2.5, 3, 1.0)
+        assert z == pytest.approx(2.0)
+
+    def test_saturated_machine_accepts_nothing(self):
+        # All processors already above the target level.
+        z = max_load_at_speed(np.array([5.0, 5.0]), 1.0, 2, 1.0)
+        assert z == 0.0
+
+    def test_sorted_loads_cache_agrees(self):
+        arr = np.array([4.0, 2.0, 1.0])
+        cache = SortedLoads(arr, 3, 1.5)
+        for target in [0.3, 1.0, 2.5, 8.0]:
+            assert cache.max_load_at_speed(target) == pytest.approx(
+                max_load_at_speed(arr, target, 3, 1.5)
+            )
+        assert cache.zero_load_speed() == pytest.approx(
+            pool_level(arr, 3) / 1.5
+        )

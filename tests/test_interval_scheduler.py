@@ -1,0 +1,103 @@
+"""Tests for the per-interval schedule realization (Chen + McNaughton)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chen.interval_power import interval_energy
+from repro.chen.scheduler import schedule_interval
+from repro.errors import InfeasibleScheduleError
+from repro.model.power import PolynomialPower
+from repro.model.validation import validate_segments
+
+POWER = PolynomialPower(3.0)
+
+loads_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=10
+)
+
+
+class TestScheduleInterval:
+    def test_energy_matches_pk(self):
+        loads = [5.0, 3.0, 1.0, 0.5]
+        sched = schedule_interval(loads, m=2, start=0.0, end=2.0, power=POWER)
+        assert sched.energy == pytest.approx(
+            interval_energy(np.array(loads), 2, 2.0, POWER)
+        )
+
+    def test_segment_energy_equals_reported_energy(self):
+        loads = [5.0, 3.0, 1.0, 0.5]
+        sched = schedule_interval(loads, m=2, start=0.0, end=2.0, power=POWER)
+        seg_energy = sum(POWER(s.speed) * s.duration for s in sched.segments)
+        assert seg_energy == pytest.approx(sched.energy)
+
+    def test_work_by_job(self):
+        loads = [2.0, 1.0, 0.0, 0.7]
+        sched = schedule_interval(loads, m=3, start=1.0, end=2.5, power=POWER)
+        work = sched.work_by_job()
+        for j, u in enumerate(loads):
+            assert work.get(j, 0.0) == pytest.approx(u, abs=1e-9)
+
+    def test_custom_job_ids(self):
+        sched = schedule_interval(
+            [1.0, 2.0], job_ids=[17, 42], m=2, start=0.0, end=1.0, power=POWER
+        )
+        assert {s.job for s in sched.segments} == {17, 42}
+
+    def test_dedicated_jobs_span_whole_interval(self):
+        sched = schedule_interval([9.0, 1.0, 1.0], m=2, start=0.0, end=1.0, power=POWER)
+        dedicated_segs = [s for s in sched.segments if s.processor == 0]
+        assert len(dedicated_segs) == 1
+        assert dedicated_segs[0].start == 0.0 and dedicated_segs[0].end == 1.0
+        assert dedicated_segs[0].speed == pytest.approx(9.0)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(InfeasibleScheduleError):
+            schedule_interval([1.0], m=1, start=1.0, end=1.0, power=POWER)
+
+    def test_misaligned_ids_rejected(self):
+        with pytest.raises(InfeasibleScheduleError):
+            schedule_interval([1.0], job_ids=[1, 2], m=1, start=0.0, end=1.0, power=POWER)
+
+    def test_zero_loads_produce_empty_schedule(self):
+        sched = schedule_interval([0.0, 0.0], m=2, start=0.0, end=1.0, power=POWER)
+        assert sched.segments == ()
+        assert sched.energy == 0.0
+        assert sched.busy_processors() == 0
+
+    def test_processor_speed_profile(self):
+        sched = schedule_interval([4.0, 1.0, 1.0], m=2, start=0.0, end=1.0, power=POWER)
+        runs = sched.processor_speed_profile(0)
+        assert runs == [(0.0, 1.0, pytest.approx(4.0))]
+
+
+class TestRealizationProperties:
+    @given(loads=loads_strategy, m=st.integers(min_value=1, max_value=5))
+    @settings(max_examples=200)
+    def test_realization_always_valid(self, loads, m):
+        """Both feasibility constraints hold, and work is conserved."""
+        sched = schedule_interval(loads, m=m, start=0.0, end=1.5, power=POWER)
+        expected = {
+            j: u for j, u in enumerate(loads) if u > 1e-12
+        }
+        validate_segments(list(sched.segments), expected_work=expected, m=m)
+
+    @given(loads=loads_strategy, m=st.integers(min_value=1, max_value=5))
+    @settings(max_examples=200)
+    def test_energy_is_jensen_minimal(self, loads, m):
+        """No per-processor speed profile with the same loads beats P_k.
+
+        Sanity-check against the trivial lower bound: total work at the
+        average speed across m processors.
+        """
+        arr = np.array(loads)
+        total = float(arr.sum())
+        if total <= 0:
+            return
+        length = 1.5
+        sched = schedule_interval(loads, m=m, start=0.0, end=length, power=POWER)
+        avg_speed = total / (m * length)
+        lower = m * length * POWER(avg_speed)
+        assert sched.energy >= lower - 1e-9 * max(1.0, lower)

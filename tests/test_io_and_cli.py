@@ -1,0 +1,227 @@
+"""Tests for JSON serialization, the audit report, and the CLI."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import audit_run
+from repro.core.pd import run_pd
+from repro.errors import InvalidParameterError
+from repro.io.cli import build_parser, main
+from repro.io.serialize import (
+    instance_from_dict,
+    instance_to_dict,
+    load_json,
+    save_json,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.model.job import Instance
+from repro.workloads import poisson_instance
+
+
+class TestInstanceSerialization:
+    def test_roundtrip(self):
+        inst = poisson_instance(10, m=3, alpha=2.5, seed=0)
+        back = instance_from_dict(instance_to_dict(inst))
+        assert back.m == inst.m and back.alpha == inst.alpha
+        assert back.jobs == inst.jobs
+
+    def test_names_preserved(self):
+        inst = Instance.from_tuples([(0.0, 1.0, 1.0, 1.0)]).with_values([2.0])
+        payload = instance_to_dict(inst)
+        assert "name" not in payload["jobs"][0]
+        from repro.model.job import Job
+
+        named = Instance((Job(0.0, 1.0, 1.0, 1.0, name="alpha"),))
+        back = instance_from_dict(instance_to_dict(named))
+        assert back[0].name == "alpha"
+
+    def test_wrong_kind_rejected(self):
+        inst = poisson_instance(3, seed=0)
+        payload = instance_to_dict(inst)
+        payload["kind"] = "schedule"
+        with pytest.raises(InvalidParameterError):
+            instance_from_dict(payload)
+
+    def test_wrong_schema_rejected(self):
+        payload = instance_to_dict(poisson_instance(3, seed=0))
+        payload["schema"] = 999
+        with pytest.raises(InvalidParameterError):
+            instance_from_dict(payload)
+
+    def test_json_file_roundtrip(self, tmp_path):
+        inst = poisson_instance(5, seed=1)
+        path = tmp_path / "inst.json"
+        save_json(instance_to_dict(inst), path)
+        assert instance_from_dict(load_json(path)).jobs == inst.jobs
+
+    def test_stable_formatting(self, tmp_path):
+        inst = poisson_instance(4, seed=2)
+        p1, p2 = tmp_path / "a.json", tmp_path / "b.json"
+        save_json(instance_to_dict(inst), p1)
+        save_json(instance_to_dict(inst), p2)
+        assert p1.read_text() == p2.read_text()
+
+
+class TestScheduleSerialization:
+    def test_roundtrip_preserves_cost(self):
+        inst = poisson_instance(8, m=2, alpha=3.0, seed=3)
+        sched = run_pd(inst).schedule
+        back = schedule_from_dict(schedule_to_dict(sched))
+        assert back.cost == pytest.approx(sched.cost, rel=1e-9)
+        np.testing.assert_allclose(back.loads, sched.loads)
+        np.testing.assert_array_equal(back.finished, sched.finished)
+
+    def test_sparse_storage(self):
+        inst = poisson_instance(8, m=2, alpha=3.0, seed=4)
+        sched = run_pd(inst).schedule
+        payload = schedule_to_dict(sched)
+        dense = sched.loads.size
+        assert len(payload["loads"]) < dense  # zeros are omitted
+
+    def test_tampered_cost_detected(self):
+        inst = poisson_instance(5, m=1, alpha=3.0, seed=5)
+        payload = schedule_to_dict(run_pd(inst).schedule)
+        payload["cost"] = payload["cost"] * 2 + 1
+        with pytest.raises(InvalidParameterError):
+            schedule_from_dict(payload)
+
+    def test_payload_is_json_serializable(self):
+        inst = poisson_instance(5, m=2, alpha=2.0, seed=6)
+        payload = schedule_to_dict(run_pd(inst).schedule)
+        json.dumps(payload)  # must not raise
+
+
+class TestAuditReport:
+    def test_clean_run_is_certified(self):
+        result = run_pd(poisson_instance(12, m=2, alpha=3.0, seed=7))
+        report = audit_run(result)
+        assert report.ok
+        assert "VERDICT: certified" in report.text
+        assert sum(report.category_sizes) == 12
+
+    def test_report_contains_key_numbers(self):
+        result = run_pd(poisson_instance(8, m=1, alpha=2.0, seed=8))
+        report = audit_run(result)
+        assert f"{report.certificate.g:.6f}" in report.text
+        assert "alpha^alpha" in report.text
+
+
+class TestCli:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["generate", "poisson", "out.json", "-n", "5"])
+        assert args.command == "generate" and args.n == 5
+
+    def test_generate_and_run(self, tmp_path, capsys):
+        inst_path = str(tmp_path / "inst.json")
+        assert main(["generate", "poisson", inst_path, "-n", "8", "--seed", "1"]) == 0
+        assert main(["run", "pd", inst_path]) == 0
+        out = capsys.readouterr().out
+        assert "accepted" in out
+
+    def test_run_saves_schedule(self, tmp_path):
+        inst_path = str(tmp_path / "inst.json")
+        sched_path = str(tmp_path / "sched.json")
+        main(["generate", "uniform", inst_path, "-n", "6", "--seed", "2"])
+        assert main(["run", "pd", inst_path, "--save-schedule", sched_path]) == 0
+        payload = load_json(sched_path)
+        assert payload["kind"] == "schedule"
+        schedule_from_dict(payload)  # must round-trip
+
+    def test_compare_skips_incompatible(self, tmp_path, capsys):
+        inst_path = str(tmp_path / "inst.json")
+        main(["generate", "poisson", inst_path, "-n", "6", "-m", "2", "--seed", "3"])
+        assert main(["compare", inst_path, "--algorithms", "pd,cll"]) == 0
+        out = capsys.readouterr().out
+        assert "skipped" in out and "pd" in out
+
+    def test_certify_exit_code(self, tmp_path, capsys):
+        inst_path = str(tmp_path / "inst.json")
+        main(["generate", "tight", inst_path, "-n", "8", "--seed", "4"])
+        assert main(["certify", inst_path]) == 0
+        assert "VERDICT: certified" in capsys.readouterr().out
+
+    def test_figures_render(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2a" in out and "Figure 3b" in out
+
+    def test_missing_file_is_graceful(self, capsys):
+        assert main(["run", "pd", "/nonexistent/inst.json"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_gantt_flag(self, tmp_path, capsys):
+        inst_path = str(tmp_path / "inst.json")
+        main(["generate", "batch", inst_path, "-n", "5", "-m", "2", "--seed", "5"])
+        assert main(["run", "pd", inst_path, "--gantt"]) == 0
+        assert "CPU 1" in capsys.readouterr().out
+
+    def test_lowerbound_generator(self, tmp_path):
+        inst_path = str(tmp_path / "lb.json")
+        assert main(["generate", "lowerbound", inst_path, "-n", "6"]) == 0
+        inst = instance_from_dict(load_json(inst_path))
+        assert inst.n == 6 and inst.m == 1
+
+
+class TestNewSubcommands:
+    """CLI coverage for the discrete / profit / adversary extensions."""
+
+    def _instance(self, tmp_path, **kwargs):
+        inst_path = str(tmp_path / "inst.json")
+        main(["generate", "poisson", inst_path, "-n", "6", "--seed", "7"])
+        return inst_path
+
+    def test_discrete_default_menu(self, tmp_path, capsys):
+        inst_path = self._instance(tmp_path)
+        assert main(["discrete", inst_path, "--levels", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "overhead" in out and "envelope bound" in out
+
+    def test_discrete_explicit_cap(self, tmp_path, capsys):
+        inst_path = self._instance(tmp_path)
+        assert main(["discrete", inst_path, "--levels", "8", "--cap", "50"]) == 0
+        assert "level" in capsys.readouterr().out
+
+    def test_profit_plain(self, tmp_path, capsys):
+        inst_path = self._instance(tmp_path)
+        assert main(["profit", inst_path]) == 0
+        assert "profit" in capsys.readouterr().out
+
+    def test_profit_augmented(self, tmp_path, capsys):
+        inst_path = self._instance(tmp_path)
+        assert main(["profit", inst_path, "--epsilon", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "eps=0.25" in out
+
+    def test_adversary_and_save(self, tmp_path, capsys):
+        inst_path = self._instance(tmp_path)
+        hard_path = str(tmp_path / "hard.json")
+        assert (
+            main(
+                [
+                    "adversary",
+                    inst_path,
+                    "--rounds",
+                    "10",
+                    "--seed",
+                    "1",
+                    "--save",
+                    hard_path,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "hardest certified ratio" in out
+        hard = instance_from_dict(load_json(hard_path))
+        assert hard.n >= 1
+
+    def test_policy_algorithms_in_run(self, tmp_path, capsys):
+        inst_path = self._instance(tmp_path)
+        assert main(["run", "solo-threshold", inst_path]) == 0
+        assert "accepted" in capsys.readouterr().out

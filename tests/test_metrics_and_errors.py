@@ -1,0 +1,101 @@
+"""Tests for schedule metrics and the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.metrics import empirical_ratio, schedule_metrics
+from repro.core.pd import run_pd
+from repro.errors import (
+    CertificateError,
+    ConvergenceError,
+    GridMismatchError,
+    InfeasibleScheduleError,
+    InvalidInstanceError,
+    InvalidJobError,
+    InvalidParameterError,
+    ReproError,
+    SolverError,
+)
+from repro.model.job import Instance
+from repro.workloads import poisson_instance
+
+
+class TestScheduleMetrics:
+    def test_basic_fields(self):
+        inst = poisson_instance(10, m=2, alpha=3.0, seed=0)
+        result = run_pd(inst)
+        metrics = schedule_metrics(result.schedule)
+        assert metrics.cost == pytest.approx(result.cost)
+        assert metrics.energy == pytest.approx(result.schedule.energy)
+        assert metrics.lost_value == pytest.approx(result.schedule.lost_value)
+        assert metrics.accepted + metrics.rejected == inst.n
+        assert metrics.peak_speed >= metrics.mean_busy_speed >= 0.0
+
+    def test_idle_schedule_metrics(self):
+        inst = Instance.from_tuples([(0.0, 1.0, 1.0, 1e-12)], m=1, alpha=3.0)
+        metrics = schedule_metrics(run_pd(inst).schedule)
+        assert metrics.peak_speed == 0.0
+        assert metrics.mean_busy_speed == 0.0
+        assert metrics.accepted == 0
+
+    def test_row_rendering(self):
+        inst = poisson_instance(5, m=1, alpha=2.0, seed=1)
+        row = schedule_metrics(run_pd(inst).schedule).row()
+        assert "cost=" in row and "peak=" in row
+
+    def test_mean_busy_speed_weighted_by_time(self):
+        # Speed 2 for 1 unit, speed 1 for 3 units -> mean 1.25.
+        inst = Instance.classical(
+            [(0.0, 1.0, 2.0), (1.0, 4.0, 3.0)], m=1, alpha=3.0
+        )
+        metrics = schedule_metrics(run_pd(inst).schedule)
+        assert metrics.mean_busy_speed == pytest.approx(1.25, rel=1e-6)
+        assert metrics.peak_speed == pytest.approx(2.0, rel=1e-6)
+
+
+class TestEmpiricalRatio:
+    def test_normal(self):
+        assert empirical_ratio(4.0, 2.0) == 2.0
+
+    def test_zero_zero(self):
+        assert empirical_ratio(0.0, 0.0) == 1.0
+
+    def test_positive_over_zero(self):
+        assert empirical_ratio(1.0, 0.0) == float("inf")
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            InvalidJobError,
+            InvalidInstanceError,
+            InvalidParameterError,
+            InfeasibleScheduleError,
+            GridMismatchError,
+            SolverError,
+            ConvergenceError,
+            CertificateError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_value_errors_catchable_as_valueerror(self):
+        for exc in (InvalidJobError, InvalidInstanceError, InvalidParameterError):
+            assert issubclass(exc, ValueError)
+
+    def test_convergence_error_carries_best(self):
+        err = ConvergenceError("no luck", best={"x": 1})
+        assert err.best == {"x": 1}
+        assert isinstance(err, SolverError)
+
+    def test_certificate_error_is_assertion(self):
+        assert issubclass(CertificateError, AssertionError)
+
+    def test_library_raises_only_repro_errors_on_bad_input(self):
+        with pytest.raises(ReproError):
+            Instance((), m=0)
+        with pytest.raises(ReproError):
+            poisson_instance(0)

@@ -1,0 +1,195 @@
+"""Tests for OA, AVR, BKP, qOA — the classical online algorithms."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.classical import (
+    run_avr,
+    run_bkp,
+    run_oa,
+    run_oa_multiprocessor,
+    run_qoa,
+    yds,
+)
+from repro.classical.bkp import bkp_speed
+from repro.classical.qoa import default_q
+from repro.errors import InvalidParameterError
+from repro.model.job import Instance
+from repro.offline.convex import solve_min_energy
+from repro.workloads import lower_bound_instance, pd_cost_closed_form
+
+
+def random_classical(n: int, seed: int, alpha: float = 3.0, m: int = 1) -> Instance:
+    rng = np.random.default_rng(seed)
+    rows = []
+    t = 0.0
+    for _ in range(n):
+        t += float(rng.uniform(0.0, 1.0))
+        span = float(rng.uniform(0.5, 3.0))
+        rows.append((t, t + span, float(rng.uniform(0.2, 2.0))))
+    return Instance.classical(rows, m=m, alpha=alpha)
+
+
+class TestOA:
+    def test_single_job_is_optimal(self):
+        inst = Instance.classical([(0.0, 2.0, 4.0)], alpha=3.0)
+        result = run_oa(inst)
+        assert result.energy == pytest.approx(yds(inst).energy, rel=1e-9)
+
+    def test_finishes_all_jobs(self):
+        inst = random_classical(10, seed=0)
+        result = run_oa(inst)
+        result.schedule.validate()
+        assert result.schedule.finished.all()
+        np.testing.assert_allclose(
+            result.schedule.work_done(), inst.sorted_by_release().workloads, rtol=1e-6
+        )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_oa_between_optimal_and_competitive_bound(self, seed):
+        inst = random_classical(8, seed=seed)
+        opt = yds(inst).energy
+        oa = run_oa(inst).energy
+        alpha = inst.alpha
+        assert opt - 1e-9 <= oa <= alpha**alpha * opt * (1.0 + 1e-6)
+
+    def test_oa_matches_lower_bound_closed_form(self):
+        """On the BKP adversarial family OA's cost has a known closed form."""
+        n, alpha = 10, 3.0
+        inst = lower_bound_instance(n, alpha)
+        result = run_oa(inst)
+        assert result.energy == pytest.approx(pd_cost_closed_form(n, alpha), rel=1e-7)
+
+    def test_rejects_multiprocessor_instance(self):
+        with pytest.raises(InvalidParameterError):
+            run_oa(Instance.classical([(0.0, 1.0, 1.0)], m=2))
+
+    def test_oa_no_arrivals_after_start_is_optimal(self):
+        """With all releases at time 0 OA never revises: it IS optimal."""
+        inst = Instance.classical(
+            [(0.0, 1.0, 1.0), (0.0, 2.0, 1.0), (0.0, 4.0, 2.0)], alpha=3.0
+        )
+        assert run_oa(inst).energy == pytest.approx(yds(inst).energy, rel=1e-9)
+
+
+class TestOAMultiprocessor:
+    @pytest.mark.parametrize("m", [2, 3])
+    def test_finishes_everything(self, m):
+        inst = random_classical(6, seed=2, m=m)
+        result = run_oa_multiprocessor(inst)
+        result.schedule.validate()
+        assert result.schedule.finished.all()
+
+    def test_batch_release_matches_offline(self):
+        inst = Instance.classical(
+            [(0.0, 1.0, 1.0), (0.0, 1.0, 0.6), (0.0, 1.0, 0.3)], m=2, alpha=3.0
+        )
+        online = run_oa_multiprocessor(inst).energy
+        offline = solve_min_energy(inst).energy
+        assert online == pytest.approx(offline, rel=1e-5)
+
+    def test_multiproc_cheaper_than_single(self):
+        inst1 = random_classical(6, seed=3, m=1)
+        inst2 = inst1.with_machine(m=3)
+        assert (
+            run_oa_multiprocessor(inst2).energy
+            <= run_oa(inst1).energy + 1e-9
+        )
+
+
+class TestAVR:
+    def test_density_profile(self):
+        inst = Instance.classical([(0.0, 2.0, 4.0)], alpha=3.0)
+        sched = run_avr(inst)
+        # Density 2 over [0,2): energy = 2 * 2^3.
+        assert sched.energy == pytest.approx(16.0)
+
+    def test_overlap_adds_densities(self):
+        inst = Instance.classical([(0.0, 2.0, 2.0), (0.0, 2.0, 2.0)], alpha=2.0)
+        sched = run_avr(inst)
+        # Total speed 2 over [0,2): energy 2 * 4 = 8.
+        assert sched.energy == pytest.approx(8.0)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_avr_at_least_optimal(self, seed):
+        inst = random_classical(8, seed=seed)
+        assert run_avr(inst).energy >= yds(inst).energy - 1e-9
+
+    def test_avr_within_competitive_bound(self):
+        # AVR is (2 alpha)^alpha / 2 competitive; check a loose version.
+        inst = random_classical(8, seed=11)
+        alpha = inst.alpha
+        assert run_avr(inst).energy <= ((2 * alpha) ** alpha / 2) * yds(
+            inst
+        ).energy * (1 + 1e-9)
+
+    def test_avr_valid_on_multiprocessor(self):
+        inst = random_classical(8, seed=5, m=3)
+        sched = run_avr(inst)
+        sched.validate()
+        assert sched.finished.all()
+
+
+class TestBKP:
+    def test_speed_formula_single_job(self):
+        # One job (0, 1, w): at t=0 the candidate t2=1 gives
+        # s = e * w / (e * 1) = w.
+        inst = Instance.classical([(0.0, 1.0, 0.7)])
+        assert bkp_speed(inst, 0.0) == pytest.approx(0.7)
+
+    def test_finishes_all_jobs(self):
+        inst = random_classical(8, seed=1)
+        sched = run_bkp(inst)
+        sched.validate()
+        assert sched.finished.all()
+
+    def test_energy_sane_vs_optimal(self):
+        inst = random_classical(8, seed=4)
+        opt = yds(inst).energy
+        bkp = run_bkp(inst).energy
+        alpha = inst.alpha
+        bound = 2 * (alpha / (alpha - 1)) ** alpha * math.e**alpha
+        assert opt - 1e-9 <= bkp <= bound * opt * 1.1
+
+    def test_discretization_converges(self):
+        inst = random_classical(5, seed=9)
+        coarse = run_bkp(inst, samples_per_interval=8).energy
+        fine = run_bkp(inst, samples_per_interval=64).energy
+        assert abs(coarse - fine) / fine < 0.05
+
+    def test_rejects_multiprocessor(self):
+        with pytest.raises(InvalidParameterError):
+            run_bkp(Instance.classical([(0.0, 1.0, 1.0)], m=2))
+
+
+class TestQOA:
+    def test_default_q(self):
+        assert default_q(2.0) == pytest.approx(1.5)
+        assert default_q(3.0) == pytest.approx(5.0 / 3.0)
+
+    def test_finishes_all_jobs(self):
+        inst = random_classical(8, seed=6)
+        sched = run_qoa(inst)
+        sched.validate()
+        assert sched.finished.all()
+
+    def test_q_one_is_oa(self):
+        inst = random_classical(6, seed=8)
+        qoa = run_qoa(inst, q=1.0).energy
+        oa = run_oa(inst).energy
+        assert qoa == pytest.approx(oa, rel=1e-6)
+
+    def test_faster_q_finishes_earlier_with_more_energy_on_batch(self):
+        inst = Instance.classical([(0.0, 2.0, 2.0)], alpha=3.0)
+        e1 = run_qoa(inst, q=1.0).energy
+        e2 = run_qoa(inst, q=2.0).energy
+        assert e2 > e1  # running faster than needed wastes energy
+
+    def test_invalid_q(self):
+        inst = Instance.classical([(0.0, 1.0, 1.0)])
+        with pytest.raises(InvalidParameterError):
+            run_qoa(inst, q=0.5)

@@ -1,0 +1,159 @@
+"""Tests for the offline convex solver and the exact (IMP) solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.classical.yds import yds
+from repro.core.pd import run_pd
+from repro.errors import InvalidParameterError
+from repro.model.job import Instance
+from repro.offline import (
+    reject_all_upper_bound,
+    solo_choice_lower_bound,
+    solo_energy,
+    solve_exact,
+    solve_min_energy,
+)
+from repro.offline.convex import kkt_residual
+from repro.workloads import poisson_instance
+
+
+def random_classical(n: int, seed: int, m: int = 1, alpha: float = 3.0) -> Instance:
+    rng = np.random.default_rng(seed)
+    rows = []
+    t = 0.0
+    for _ in range(n):
+        t += float(rng.uniform(0.0, 1.0))
+        rows.append((t, t + float(rng.uniform(0.5, 3.0)), float(rng.uniform(0.2, 2.0))))
+    return Instance.classical(rows, m=m, alpha=alpha)
+
+
+class TestConvexSolver:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_yds_on_single_processor(self, seed):
+        inst = random_classical(7, seed=seed)
+        sol = solve_min_energy(inst)
+        assert sol.converged
+        assert sol.energy == pytest.approx(yds(inst).energy, rel=1e-6)
+
+    def test_kkt_residual_near_zero_at_optimum(self):
+        inst = random_classical(6, seed=1)
+        sol = solve_min_energy(inst)
+        assert sol.kkt < 1e-7
+
+    def test_kkt_residual_positive_off_optimum(self):
+        inst = random_classical(4, seed=2)
+        sol = solve_min_energy(inst)
+        # Perturb: push all of job 0's work into its first interval.
+        loads = sol.schedule.loads.copy()
+        grid = sol.schedule.grid
+        ks = list(grid.covering(inst[0].release, inst[0].deadline))
+        if len(ks) > 1:
+            loads[0, :] = 0.0
+            loads[0, ks[0]] = inst[0].workload
+            assert kkt_residual(inst, grid, loads, range(inst.n)) > 1e-3
+
+    @pytest.mark.parametrize("m", [2, 3, 5])
+    def test_multiprocessor_monotone_in_m(self, m):
+        inst = random_classical(6, seed=3, m=m)
+        e_m = solve_min_energy(inst).energy
+        e_1 = solve_min_energy(inst.with_machine(m=1)).energy
+        assert e_m <= e_1 + 1e-9
+
+    def test_subset_acceptance(self):
+        inst = random_classical(5, seed=4)
+        full = solve_min_energy(inst).energy
+        partial = solve_min_energy(inst, accepted=[0, 2]).energy
+        assert partial <= full + 1e-9
+        sched = solve_min_energy(inst, accepted=[0, 2]).schedule
+        assert list(np.nonzero(sched.finished)[0]) == [0, 2]
+        # Unaccepted jobs receive no work.
+        assert sched.loads[[1, 3, 4], :].sum() == pytest.approx(0.0)
+
+    def test_batch_two_processors_closed_form(self):
+        # Two equal jobs, two processors, one interval: each runs alone.
+        inst = Instance.classical([(0.0, 1.0, 1.0), (0.0, 1.0, 1.0)], m=2, alpha=3.0)
+        assert solve_min_energy(inst).energy == pytest.approx(2.0)
+
+    def test_invalid_accepted_ids(self):
+        inst = random_classical(3, seed=5)
+        with pytest.raises(InvalidParameterError):
+            solve_min_energy(inst, accepted=[7])
+
+
+class TestExactSolver:
+    def test_tiny_instance_brute_force(self):
+        """Cross-check against literal enumeration without pruning."""
+        inst = Instance.from_tuples(
+            [(0.0, 2.0, 1.0, 0.8), (0.0, 1.0, 1.0, 5.0), (1.0, 3.0, 2.0, 0.2)],
+            m=1,
+            alpha=2.0,
+        )
+        exact = solve_exact(inst)
+        # Literal: all 8 subsets.
+        from itertools import combinations
+
+        best = inst.total_value
+        for size in range(1, 4):
+            for subset in combinations(range(3), size):
+                energy = solve_min_energy(inst, accepted=subset).energy
+                rejected = inst.total_value - sum(inst[j].value for j in subset)
+                best = min(best, energy + rejected)
+        assert exact.cost == pytest.approx(best, rel=1e-7)
+
+    def test_reject_all_when_values_tiny(self):
+        inst = Instance.from_tuples(
+            [(0.0, 1.0, 1.0, 1e-9), (0.0, 1.0, 1.0, 1e-9)], m=1, alpha=3.0
+        )
+        exact = solve_exact(inst)
+        assert exact.accepted == ()
+        assert exact.cost == pytest.approx(2e-9)
+
+    def test_accept_all_when_values_huge(self):
+        inst = Instance.classical([(0.0, 1.0, 0.5), (0.0, 2.0, 0.5)], m=1, alpha=3.0)
+        exact = solve_exact(inst)
+        assert set(exact.accepted) == {0, 1}
+        assert exact.cost == pytest.approx(yds(inst).energy, rel=1e-6)
+
+    def test_pruning_counts(self):
+        inst = poisson_instance(8, m=1, alpha=2.0, seed=0)
+        exact = solve_exact(inst)
+        assert exact.subsets_solved + exact.subsets_pruned == 2**8 - 1
+
+    def test_size_cap(self):
+        inst = poisson_instance(19, m=1, seed=0)
+        with pytest.raises(InvalidParameterError):
+            solve_exact(inst)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_pd_within_alpha_alpha_of_exact(self, seed):
+        """Theorem 3 against the true optimum on small instances."""
+        inst = poisson_instance(7, m=1, alpha=2.0, seed=seed)
+        opt = solve_exact(inst).cost
+        pd = run_pd(inst).cost
+        assert pd <= 2.0**2.0 * opt * (1.0 + 1e-6)
+
+    def test_multiprocessor_exact(self):
+        inst = poisson_instance(6, m=2, alpha=2.0, seed=9)
+        exact = solve_exact(inst)
+        pd = run_pd(inst)
+        assert pd.cost <= 4.0 * exact.cost * (1.0 + 1e-6)
+        assert exact.cost <= pd.cost * (1.0 + 1e-9)
+
+
+class TestBounds:
+    def test_solo_energy(self):
+        inst = Instance.from_tuples([(0.0, 2.0, 4.0, 1.0)], alpha=3.0)
+        assert solo_energy(inst, 0) == pytest.approx(2.0 * 8.0)
+
+    def test_solo_choice_lower_bound_below_exact(self):
+        for seed in range(4):
+            inst = poisson_instance(6, m=1, alpha=2.0, seed=seed)
+            lb = solo_choice_lower_bound(inst)
+            assert lb <= solve_exact(inst).cost * (1.0 + 1e-9)
+
+    def test_reject_all_upper_bound_above_exact(self):
+        inst = poisson_instance(6, m=1, alpha=2.0, seed=1)
+        assert reject_all_upper_bound(inst) >= solve_exact(inst).cost - 1e-9

@@ -1,0 +1,184 @@
+"""Tests for Chen et al.'s dedicated/pool partition (Equation (5))."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chen.partition import (
+    partition_loads,
+    partition_loads_reference,
+)
+from repro.errors import InvalidParameterError
+
+# Loads are either exactly zero or meaningfully positive: the partition
+# treats sub-_LOAD_EPS (1e-15) dust as zero by design, so properties like
+# scale invariance intentionally do not apply inside that band.
+loads_strategy = st.lists(
+    st.one_of(st.just(0.0), st.floats(min_value=1e-9, max_value=100.0)),
+    min_size=0,
+    max_size=12,
+)
+m_strategy = st.integers(min_value=1, max_value=8)
+
+
+class TestPartitionExamples:
+    def test_single_large_job_dedicated(self):
+        p = partition_loads(np.array([5.0, 3.0, 1.0]), 2)
+        assert p.num_dedicated == 1
+        assert p.pool_load == pytest.approx(4.0)
+        assert p.pool_load_per_processor == pytest.approx(4.0)
+        np.testing.assert_allclose(p.processor_loads(), [5.0, 4.0])
+
+    def test_balanced_loads_all_pool(self):
+        p = partition_loads(np.array([1.0, 1.0, 1.0, 1.0]), 2)
+        assert p.num_dedicated == 0
+        np.testing.assert_allclose(p.processor_loads(), [2.0, 2.0])
+
+    def test_fewer_jobs_than_processors_all_dedicated(self):
+        p = partition_loads(np.array([3.0, 1.0]), 4)
+        assert p.num_dedicated == 2
+        np.testing.assert_allclose(p.processor_loads(), [3.0, 1.0, 0.0, 0.0])
+
+    def test_single_processor_everything_pools(self):
+        p = partition_loads(np.array([3.0, 1.0]), 1)
+        # With m = 1 nothing can be dedicated unless it is the only work.
+        assert p.num_dedicated == 0
+        np.testing.assert_allclose(p.processor_loads(), [4.0])
+
+    def test_single_job_single_processor_is_dedicated(self):
+        p = partition_loads(np.array([3.0]), 1)
+        assert p.num_dedicated == 1
+        assert p.pool_load == 0.0
+
+    def test_zero_loads_ignored(self):
+        p = partition_loads(np.array([0.0, 2.0, 0.0]), 2)
+        assert p.num_dedicated == 1
+        assert p.pool_load == pytest.approx(0.0)
+
+    def test_empty_loads(self):
+        p = partition_loads(np.array([]), 3)
+        assert p.num_dedicated == 0
+        np.testing.assert_allclose(p.processor_loads(), [0.0, 0.0, 0.0])
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            partition_loads(np.array([1.0, -0.5]), 2)
+
+    def test_bad_m_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            partition_loads(np.array([1.0]), 0)
+
+    def test_order_is_stable_on_ties(self):
+        p = partition_loads(np.array([2.0, 2.0, 2.0]), 2)
+        np.testing.assert_array_equal(p.order, [0, 1, 2])
+
+    def test_dedicated_and_pool_ids(self):
+        p = partition_loads(np.array([1.0, 9.0, 0.0, 2.0]), 2)
+        assert list(p.dedicated_ids()) == [1]
+        assert set(p.pool_ids()) == {0, 3}
+
+    def test_speed_of(self):
+        p = partition_loads(np.array([5.0, 3.0, 1.0]), 2)
+        assert p.speed_of(0, 2.0) == pytest.approx(2.5)  # dedicated 5/2
+        assert p.speed_of(1, 2.0) == pytest.approx(2.0)  # pool 4/(1*2)
+        assert p.speed_of(2, 2.0) == pytest.approx(2.0)
+
+
+class TestPartitionProperties:
+    @given(loads=loads_strategy, m=m_strategy)
+    @settings(max_examples=200)
+    def test_matches_reference_implementation(self, loads, m):
+        """Fast scan and literal Equation (5) agree on the physical outcome.
+
+        At exact dedication ties the *count* of dedicated jobs is
+        ambiguous (a job at the pool level can be called either), so the
+        comparison is on processor loads, which are unique.
+        """
+        arr = np.array(loads)
+        fast = partition_loads(arr, m)
+        slow = partition_loads_reference(arr, m)
+        np.testing.assert_allclose(
+            fast.processor_loads(), slow.processor_loads(), atol=1e-7
+        )
+
+    @given(loads=loads_strategy, m=m_strategy)
+    @settings(max_examples=200)
+    def test_processor_loads_cover_all_work(self, loads, m):
+        arr = np.array(loads)
+        p = partition_loads(arr, m)
+        assert p.processor_loads().sum() == pytest.approx(arr.sum(), abs=1e-8)
+
+    @given(loads=loads_strategy, m=m_strategy)
+    @settings(max_examples=200)
+    def test_processor_loads_descending(self, loads, m):
+        p = partition_loads(np.array(loads), m)
+        pl = p.processor_loads()
+        assert np.all(np.diff(pl) <= 1e-9)
+
+    @given(loads=loads_strategy, m=m_strategy)
+    @settings(max_examples=200)
+    def test_pool_jobs_fit_under_pool_level(self, loads, m):
+        """Every pool job's load is at most the pool per-processor load.
+
+        This is the McNaughton feasibility condition: pool jobs never need
+        to run in parallel with themselves.
+        """
+        arr = np.array(loads)
+        p = partition_loads(arr, m)
+        if p.num_pool_processors == 0:
+            return
+        level = p.pool_load_per_processor
+        for load in p.sorted_loads[p.num_dedicated :]:
+            assert load <= level + 1e-9
+
+    @given(loads=loads_strategy, m=m_strategy)
+    @settings(max_examples=200)
+    def test_dedicated_loads_above_pool_level(self, loads, m):
+        p = partition_loads(np.array(loads), m)
+        level = p.pool_load_per_processor
+        for load in p.sorted_loads[: p.num_dedicated]:
+            assert load >= level - 1e-9
+
+    @given(loads=loads_strategy, m=m_strategy, scale=st.floats(0.1, 10.0))
+    @settings(max_examples=100)
+    def test_partition_scale_invariant(self, loads, m, scale):
+        """Scaling all loads scales processor loads without reshuffling."""
+        arr = np.array(loads)
+        p1 = partition_loads(arr, m)
+        p2 = partition_loads(arr * scale, m)
+        assert p1.num_dedicated == p2.num_dedicated
+        np.testing.assert_allclose(
+            p2.processor_loads(), p1.processor_loads() * scale, atol=1e-7
+        )
+
+
+class TestProposition2:
+    """Proposition 2: adding a new load z moves every processor load by
+    at most z, and never downward."""
+
+    @given(
+        loads=loads_strategy,
+        m=m_strategy,
+        z=st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=300)
+    def test_monotone_and_lipschitz(self, loads, m, z):
+        arr = np.array(loads)
+        before = partition_loads(arr, m).processor_loads()
+        after = partition_loads(np.append(arr, z), m).processor_loads()
+        diff = after - before
+        assert np.all(diff >= -1e-9), f"some load decreased: {diff}"
+        assert np.all(diff <= z + 1e-9), f"some load moved more than z: {diff}"
+
+    def test_paper_figure2_shape(self):
+        """The Figure 2 scenario: a new job converts a dedicated processor
+        into a pool processor without lowering anyone's load."""
+        arr = np.array([4.0, 2.2, 1.0, 0.8])  # m=4: loads [4, 2.2, 1, .8]
+        before = partition_loads(arr, 4)
+        assert before.num_dedicated >= 1
+        after = partition_loads(np.append(arr, 1.5), 4)
+        b, a = before.processor_loads(), after.processor_loads()
+        assert np.all(a >= b - 1e-12)
+        assert np.all(a - b <= 1.5 + 1e-12)

@@ -1,0 +1,91 @@
+"""Unit tests for the instance perturbation operators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.model.job import Job
+from repro.workloads import poisson_instance
+from repro.workloads.perturb import (
+    add_job,
+    drop_job,
+    jitter_values,
+    shift_time,
+    tighten_deadlines,
+)
+
+
+@pytest.fixture
+def inst():
+    return poisson_instance(6, m=2, alpha=3.0, seed=0)
+
+
+class TestShiftTime:
+    def test_shift_preserves_spans(self, inst):
+        shifted = shift_time(inst, 5.0)
+        for a, b in zip(inst.jobs, shifted.jobs):
+            assert b.release == pytest.approx(a.release + 5.0)
+            assert b.span == pytest.approx(a.span)
+            assert b.workload == a.workload and b.value == a.value
+
+    def test_negative_shift_guard(self, inst):
+        with pytest.raises(InvalidParameterError):
+            shift_time(inst, -1e9)
+
+    def test_zero_shift_identity(self, inst):
+        assert shift_time(inst, 0.0).jobs == inst.jobs
+
+
+class TestJitterValues:
+    def test_deterministic(self, inst):
+        a = jitter_values(inst, rel=0.2, seed=1)
+        b = jitter_values(inst, rel=0.2, seed=1)
+        assert a.jobs == b.jobs
+
+    def test_bounded(self, inst):
+        jittered = jitter_values(inst, rel=0.1, seed=2)
+        for a, b in zip(inst.jobs, jittered.jobs):
+            assert 0.9 * a.value - 1e-12 <= b.value <= 1.1 * a.value + 1e-12
+
+    def test_rel_validation(self, inst):
+        with pytest.raises(InvalidParameterError):
+            jitter_values(inst, rel=1.0)
+
+
+class TestAddDrop:
+    def test_add(self, inst):
+        bigger = add_job(inst, Job(0.0, 1.0, 1.0, 1.0))
+        assert bigger.n == inst.n + 1
+        assert bigger.jobs[:-1] == inst.jobs
+
+    def test_drop(self, inst):
+        smaller = drop_job(inst, 2)
+        assert smaller.n == inst.n - 1
+        assert inst.jobs[2] not in smaller.jobs or inst.jobs.count(inst.jobs[2]) > 1
+
+    def test_drop_bounds(self, inst):
+        with pytest.raises(InvalidParameterError):
+            drop_job(inst, inst.n)
+
+    def test_drop_last_job_guard(self):
+        single = poisson_instance(1, seed=0)
+        with pytest.raises(InvalidParameterError):
+            drop_job(single, 0)
+
+
+class TestTightenDeadlines:
+    def test_factor_applies_to_span(self, inst):
+        tight = tighten_deadlines(inst, 0.5)
+        for a, b in zip(inst.jobs, tight.jobs):
+            assert b.span == pytest.approx(0.5 * a.span)
+            assert b.release == a.release
+
+    def test_factor_one_identity(self, inst):
+        assert tighten_deadlines(inst, 1.0).jobs == inst.jobs
+
+    def test_factor_validation(self, inst):
+        with pytest.raises(InvalidParameterError):
+            tighten_deadlines(inst, 0.0)
+        with pytest.raises(InvalidParameterError):
+            tighten_deadlines(inst, 1.5)

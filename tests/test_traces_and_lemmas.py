@@ -1,0 +1,136 @@
+"""Tests for job traces (Section 4.2) and Lemmas 9–11 / Propositions 7–8."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.categories import categorize, category_threshold, lemma_bounds
+from repro.analysis.certificates import dual_certificate
+from repro.analysis.traces import build_traces, check_proposition7
+from repro.core.pd import run_pd
+from repro.workloads import (
+    heavy_tail_instance,
+    lower_bound_instance,
+    poisson_instance,
+    tight_instance,
+)
+
+FAMILIES = [
+    lambda seed: poisson_instance(15, m=1, alpha=3.0, seed=seed),
+    lambda seed: poisson_instance(15, m=3, alpha=3.0, seed=seed),
+    lambda seed: poisson_instance(15, m=2, alpha=1.5, seed=seed),
+    lambda seed: heavy_tail_instance(12, m=2, alpha=2.5, seed=seed),
+    lambda seed: tight_instance(12, m=1, alpha=2.0, seed=seed),
+]
+
+
+class TestTraces:
+    @pytest.mark.parametrize("family", range(len(FAMILIES)))
+    def test_traces_pairwise_disjoint(self, family):
+        result = run_pd(FAMILIES[family](seed=0))
+        rep = build_traces(result)
+        seen: set[tuple[int, int]] = set()
+        for slots in rep.trace:
+            for slot in slots:
+                assert slot not in seen, f"slot {slot} traced twice"
+                seen.add(slot)
+
+    @pytest.mark.parametrize("family", range(len(FAMILIES)))
+    def test_traced_energy_bounded_by_total(self, family):
+        result = run_pd(FAMILIES[family](seed=1))
+        rep = build_traces(result)
+        assert rep.total_traced_energy <= result.schedule.energy * (1.0 + 1e-7)
+
+    @pytest.mark.parametrize("family", range(len(FAMILIES)))
+    @pytest.mark.parametrize("seed", range(3))
+    def test_proposition7_speed_bounds(self, family, seed):
+        result = run_pd(FAMILIES[family](seed=seed))
+        problems = check_proposition7(result)
+        assert problems == []
+
+    def test_trace_ranks_within_m(self):
+        inst = poisson_instance(20, m=3, alpha=3.0, seed=2)
+        result = run_pd(inst)
+        rep = build_traces(result)
+        for slots in rep.trace:
+            for _, rank in slots:
+                assert 0 <= rank < 3
+
+    def test_finished_jobs_on_fastest_ranks(self):
+        """Within each interval, finished contributors precede unfinished."""
+        inst = tight_instance(15, m=2, alpha=3.0, seed=3)
+        result = run_pd(inst)
+        cert = dual_certificate(result)
+        rep = build_traces(result, cert)
+        finished = result.schedule.finished
+        per_interval: dict[int, list[tuple[int, bool]]] = {}
+        for j, slots in enumerate(rep.trace):
+            for k, rank in slots:
+                per_interval.setdefault(k, []).append((rank, bool(finished[j])))
+        for k, entries in per_interval.items():
+            entries.sort()
+            flags = [fin for _, fin in entries]
+            # Once we see an unfinished job, no finished job may follow.
+            seen_unfinished = False
+            for fin in flags:
+                if not fin:
+                    seen_unfinished = True
+                assert not (seen_unfinished and fin), f"interval {k}: {flags}"
+
+
+class TestCategories:
+    def test_threshold_value(self):
+        # alpha = 3: (3 - 3^(-2)) / 2 = (3 - 1/9)/2 = 13/9.
+        assert category_threshold(3.0) == pytest.approx(13.0 / 9.0)
+
+    @pytest.mark.parametrize("family", range(len(FAMILIES)))
+    def test_partition_is_exhaustive_and_disjoint(self, family):
+        result = run_pd(FAMILIES[family](seed=4))
+        cats = categorize(result)
+        all_ids = sorted(cats.j1 + cats.j2 + cats.j3)
+        assert all_ids == list(range(result.schedule.instance.n))
+
+    @pytest.mark.parametrize("family", range(len(FAMILIES)))
+    def test_category_contributions_sum_to_g(self, family):
+        result = run_pd(FAMILIES[family](seed=5))
+        cert = dual_certificate(result)
+        cats = categorize(result, cert)
+        assert cats.g == pytest.approx(cert.g, rel=1e-9, abs=1e-9)
+
+    def test_j1_is_exactly_the_accepted_set(self):
+        result = run_pd(poisson_instance(15, m=1, alpha=3.0, seed=6))
+        cats = categorize(result)
+        np.testing.assert_array_equal(
+            sorted(cats.j1), np.nonzero(result.schedule.finished)[0]
+        )
+
+
+class TestLemmas:
+    @pytest.mark.parametrize("family", range(len(FAMILIES)))
+    @pytest.mark.parametrize("seed", range(3))
+    def test_lemmas_hold_with_optimal_delta(self, family, seed):
+        result = run_pd(FAMILIES[family](seed=seed))
+        bounds = lemma_bounds(result)
+        assert bounds.holds, bounds.violations()
+
+    def test_lemmas_on_lower_bound_family(self):
+        result = run_pd(lower_bound_instance(12, 3.0))
+        assert lemma_bounds(result).holds
+
+    def test_lemma_combination_implies_theorem3(self):
+        """Recombining the three lemma bounds reproduces the final chain:
+        g >= alpha^-alpha * cost(PD)."""
+        result = run_pd(poisson_instance(18, m=2, alpha=3.0, seed=7))
+        cert = dual_certificate(result)
+        alpha = 3.0
+        assert cert.g >= alpha ** (-alpha) * cert.cost * (1.0 - 1e-7)
+
+    def test_smaller_delta_keeps_lemma11(self):
+        """Lemma 11 requires delta <= alpha^(1-alpha); any smaller delta
+        must also satisfy it."""
+        inst = tight_instance(12, m=1, alpha=3.0, seed=8)
+        result = run_pd(inst, delta=0.5 * 3.0**-2)
+        bounds = lemma_bounds(result)
+        v = bounds.violations()
+        assert not [msg for msg in v if "Lemma 11" in msg], v

@@ -1,0 +1,230 @@
+"""Tests for the exact water-filling step of PD."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chen.interval_power import SortedLoads, job_speeds
+from repro.core.waterfill import waterfill_job
+from repro.errors import InvalidParameterError
+from repro.model.power import PolynomialPower
+
+POWER = PolynomialPower(3.0)
+DELTA = POWER.optimal_delta
+
+
+def caches_for(loads_per_interval, m=1, lengths=None):
+    lengths = lengths or [1.0] * len(loads_per_interval)
+    return [
+        SortedLoads(np.array(loads), m, l)
+        for loads, l in zip(loads_per_interval, lengths)
+    ]
+
+
+class TestAcceptance:
+    def test_empty_machine_single_interval(self):
+        out = waterfill_job(
+            caches_for([[]]), workload=2.0, value=np.inf, delta=DELTA, power=POWER
+        )
+        assert out.accepted
+        np.testing.assert_allclose(out.loads, [2.0])
+        assert out.speed == pytest.approx(2.0)
+        assert out.lam == pytest.approx(DELTA * 2.0 * POWER.derivative(2.0))
+
+    def test_spreads_evenly_over_identical_intervals(self):
+        out = waterfill_job(
+            caches_for([[], [], []]),
+            workload=3.0,
+            value=np.inf,
+            delta=DELTA,
+            power=POWER,
+        )
+        assert out.accepted
+        np.testing.assert_allclose(out.loads, [1.0, 1.0, 1.0], rtol=1e-9)
+
+    def test_prefers_cheaper_interval(self):
+        # Interval 0 already carries load 2, interval 1 is empty: new work
+        # should flow to interval 1 until marginals equalize.
+        out = waterfill_job(
+            caches_for([[2.0], []]),
+            workload=1.0,
+            value=np.inf,
+            delta=DELTA,
+            power=POWER,
+        )
+        assert out.accepted
+        assert out.loads[1] > out.loads[0]
+        assert out.loads.sum() == pytest.approx(1.0)
+
+    def test_marginals_equalized_on_support(self):
+        caches = caches_for([[1.5], [0.3], [4.0]])
+        out = waterfill_job(
+            caches, workload=2.0, value=np.inf, delta=DELTA, power=POWER
+        )
+        assert out.accepted
+        # Recompute realized speeds per interval; the marginal price
+        # delta*w*P'(s) must be equal on every interval receiving load
+        # and no lower on the others.
+        speeds = []
+        for cache, z in zip(caches, out.loads):
+            base = [1.5, 0.3, 4.0][caches.index(cache)]
+            s = job_speeds(np.array([base, z]), 1, 1.0)[1] if z > 1e-12 else None
+            speeds.append(s)
+        priced = [s for s in speeds if s is not None]
+        assert max(priced) - min(priced) < 1e-6
+
+    def test_respects_interval_lengths(self):
+        # A longer interval absorbs proportionally more load at the same
+        # speed.
+        out = waterfill_job(
+            caches_for([[], []], lengths=[1.0, 3.0]),
+            workload=4.0,
+            value=np.inf,
+            delta=DELTA,
+            power=POWER,
+        )
+        assert out.accepted
+        np.testing.assert_allclose(out.loads, [1.0, 3.0], rtol=1e-8)
+
+    def test_multiprocessor_pool_entry(self):
+        # m=2 with one heavy job: the new job gets the second processor
+        # almost for free until it reaches the pool level.
+        out = waterfill_job(
+            caches_for([[10.0]], m=2),
+            workload=1.0,
+            value=np.inf,
+            delta=DELTA,
+            power=POWER,
+        )
+        assert out.accepted
+        assert out.speed == pytest.approx(1.0)  # alone on processor 2
+
+    def test_workload_exactly_placed(self):
+        out = waterfill_job(
+            caches_for([[0.5], [1.0], [2.0], [0.1]]),
+            workload=3.3,
+            value=np.inf,
+            delta=DELTA,
+            power=POWER,
+        )
+        assert out.accepted
+        assert out.loads.sum() == pytest.approx(3.3, rel=1e-9)
+
+
+class TestRejection:
+    def test_low_value_rejected(self):
+        # Placing workload 1 on an empty unit interval costs ~1 energy;
+        # value far below that must be rejected.
+        out = waterfill_job(
+            caches_for([[]]), workload=1.0, value=1e-6, delta=DELTA, power=POWER
+        )
+        assert not out.accepted
+        assert out.lam == pytest.approx(1e-6)
+        assert out.planned_work < 1.0
+
+    def test_rejection_keeps_planned_loads(self):
+        out = waterfill_job(
+            caches_for([[], []]), workload=5.0, value=0.01, delta=DELTA, power=POWER
+        )
+        assert not out.accepted
+        assert out.loads.shape == (2,)
+        assert 0.0 < out.planned_work < 5.0
+
+    def test_zero_value_rejects_instantly(self):
+        out = waterfill_job(
+            caches_for([[]]), workload=1.0, value=0.0, delta=DELTA, power=POWER
+        )
+        assert not out.accepted
+        assert out.planned_work == 0.0
+
+    def test_no_intervals_rejects(self):
+        out = waterfill_job(
+            [], workload=1.0, value=10.0, delta=DELTA, power=POWER
+        )
+        assert not out.accepted
+        assert out.lam == 10.0
+
+    def test_borderline_value_accepted(self):
+        # Energy to place workload 1 alone is exactly 1; with the optimal
+        # delta the job is accepted iff planned energy <= alpha^(alpha-2)v,
+        # i.e. v >= 1/3 for alpha = 3.
+        threshold = 1.0 / POWER.rejection_energy_factor
+        accept = waterfill_job(
+            caches_for([[]]),
+            workload=1.0,
+            value=threshold * 1.01,
+            delta=DELTA,
+            power=POWER,
+        )
+        reject = waterfill_job(
+            caches_for([[]]),
+            workload=1.0,
+            value=threshold * 0.99,
+            delta=DELTA,
+            power=POWER,
+        )
+        assert accept.accepted
+        assert not reject.accepted
+
+
+class TestValidationAndProperties:
+    def test_bad_workload(self):
+        with pytest.raises(InvalidParameterError):
+            waterfill_job(
+                caches_for([[]]), workload=0.0, value=1.0, delta=DELTA, power=POWER
+            )
+
+    def test_bad_delta(self):
+        with pytest.raises(InvalidParameterError):
+            waterfill_job(
+                caches_for([[]]), workload=1.0, value=1.0, delta=0.0, power=POWER
+            )
+
+    @given(
+        existing=st.lists(
+            st.lists(st.floats(min_value=0.0, max_value=5.0), max_size=4),
+            min_size=1,
+            max_size=5,
+        ),
+        workload=st.floats(min_value=0.05, max_value=10.0),
+        m=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_accepted_loads_sum_to_workload(self, existing, workload, m):
+        out = waterfill_job(
+            caches_for(existing, m=m),
+            workload=workload,
+            value=np.inf,
+            delta=DELTA,
+            power=POWER,
+        )
+        assert out.accepted
+        assert out.loads.sum() == pytest.approx(workload, rel=1e-8)
+        assert np.all(out.loads >= -1e-12)
+
+    @given(
+        workload=st.floats(min_value=0.05, max_value=5.0),
+        value=st.floats(min_value=1e-4, max_value=1e4),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_lambda_never_exceeds_value(self, workload, value):
+        out = waterfill_job(
+            caches_for([[0.7], [0.1]]),
+            workload=workload,
+            value=value,
+            delta=DELTA,
+            power=POWER,
+        )
+        assert out.lam <= value * (1.0 + 1e-9)
+
+    @given(v1=st.floats(min_value=0.01, max_value=100.0))
+    @settings(max_examples=100, deadline=None)
+    def test_acceptance_monotone_in_value(self, v1):
+        """If a job is accepted at value v it stays accepted at 2v."""
+        kwargs = dict(workload=1.3, delta=DELTA, power=POWER)
+        a = waterfill_job(caches_for([[1.0], []]), value=v1, **kwargs)
+        b = waterfill_job(caches_for([[1.0], []]), value=2 * v1, **kwargs)
+        if a.accepted:
+            assert b.accepted

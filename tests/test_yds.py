@@ -1,0 +1,107 @@
+"""Tests for the YDS optimal offline algorithm."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.classical.yds import yds
+from repro.errors import InvalidParameterError
+from repro.model.job import Instance
+from repro.model.power import optimal_constant_speed_energy
+from repro.offline.convex import solve_min_energy
+from repro.workloads import lower_bound_instance, optimal_cost_closed_form
+
+
+def random_classical(n: int, seed: int, alpha: float = 3.0) -> Instance:
+    rng = np.random.default_rng(seed)
+    rows = []
+    t = 0.0
+    for _ in range(n):
+        t += float(rng.uniform(0.0, 1.0))
+        span = float(rng.uniform(0.5, 3.0))
+        rows.append((t, t + span, float(rng.uniform(0.2, 2.0))))
+    return Instance.classical(rows, m=1, alpha=alpha)
+
+
+class TestYdsExamples:
+    def test_single_job_constant_speed(self):
+        inst = Instance.classical([(0.0, 2.0, 4.0)], alpha=3.0)
+        result = yds(inst)
+        assert result.energy == pytest.approx(2.0 * 2.0**3)
+        assert result.job_speeds[0] == pytest.approx(2.0)
+
+    def test_two_disjoint_jobs(self):
+        inst = Instance.classical([(0.0, 1.0, 1.0), (2.0, 3.0, 2.0)], alpha=2.0)
+        result = yds(inst)
+        assert result.energy == pytest.approx(1.0 + 4.0)
+        np.testing.assert_allclose(result.job_speeds, [1.0, 2.0])
+
+    def test_nested_critical_interval(self):
+        # A tight inner job forces a high-speed critical interval.
+        inst = Instance.classical(
+            [(0.0, 4.0, 2.0), (1.0, 2.0, 3.0)], alpha=2.0
+        )
+        result = yds(inst)
+        # Critical: [1,2) with job 1 at speed 3. Job 0 spreads over the
+        # remaining 3 time units at speed 2/3.
+        assert result.job_speeds[1] == pytest.approx(3.0)
+        assert result.job_speeds[0] == pytest.approx(2.0 / 3.0)
+        assert result.energy == pytest.approx(1.0 * 9.0 + 3.0 * (2.0 / 3.0) ** 2)
+
+    def test_rejects_multiprocessor(self):
+        inst = Instance.classical([(0.0, 1.0, 1.0)], m=2)
+        with pytest.raises(InvalidParameterError):
+            yds(inst)
+
+    def test_lower_bound_closed_form(self):
+        for n in [1, 3, 8]:
+            inst = lower_bound_instance(n, 3.0)
+            assert yds(inst).energy == pytest.approx(
+                optimal_cost_closed_form(n, 3.0), rel=1e-9
+            )
+
+    def test_schedule_is_valid_and_finishes_everything(self):
+        inst = random_classical(12, seed=7)
+        result = yds(inst)
+        result.schedule.validate()
+        assert result.schedule.finished.all()
+        np.testing.assert_allclose(
+            result.schedule.work_done(), inst.workloads, rtol=1e-7
+        )
+
+
+class TestYdsOptimality:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_convex_optimum(self, seed):
+        """YDS (combinatorial) and BCD (numeric) agree on the optimum."""
+        inst = random_classical(8, seed=seed)
+        combinatorial = yds(inst).energy
+        numeric = solve_min_energy(inst).energy
+        assert combinatorial == pytest.approx(numeric, rel=1e-6)
+
+    @pytest.mark.parametrize("alpha", [1.5, 2.0, 3.0])
+    def test_alpha_sweep(self, alpha):
+        inst = random_classical(6, seed=1, alpha=alpha)
+        assert yds(inst).energy == pytest.approx(
+            solve_min_energy(inst).energy, rel=1e-6
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_never_beaten_by_single_job_bound(self, seed):
+        """Optimal energy is at least every job's solo optimum sum."""
+        inst = random_classical(5, seed=seed)
+        lower = sum(
+            optimal_constant_speed_energy(inst.alpha, j.workload, j.span)
+            for j in inst.jobs
+        )
+        # Solo optima ignore contention, so they lower-bound YDS.
+        assert yds(inst).energy >= lower - 1e-9
+
+    def test_critical_groups_have_decreasing_speeds(self):
+        inst = random_classical(10, seed=3)
+        result = yds(inst)
+        speeds = [g for g, _, _ in result.groups]
+        assert all(a >= b - 1e-9 for a, b in zip(speeds, speeds[1:]))
