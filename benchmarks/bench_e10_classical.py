@@ -11,37 +11,44 @@ asserts the orderings the literature guarantees:
 * AVR, BKP, qOA within their respective constants,
 * and on the adversarial family, OA's ratio climbs with n (the lower
   bound shared by PD's Theorem 3).
+
+The grid itself runs on the experiment engine's :class:`BatchRunner`
+(one request per algorithm × seed), which is also what makes this table
+cacheable and parallelizable via ``BatchRunner(workers=..., cache=...)``.
 """
 
 from __future__ import annotations
 
 import math
 
-import numpy as np
 import pytest
 
-from repro import run_avr, run_bkp, run_oa, run_pd, run_qoa, yds
-from repro.model.job import Instance
+from repro.engine import BatchRunner, RunRequest
 from repro.workloads import lower_bound_instance, poisson_instance
 
 from helpers import emit_table
 
+ALGOS = ["yds", "oa", "avr", "bkp", "qoa", "pd"]
+SEEDS = range(4)
+
 
 def classical_table():
-    rows = []
-    for seed in range(4):
+    requests = []
+    for seed in SEEDS:
         base = poisson_instance(12, m=1, alpha=3.0, seed=seed)
         inst = base.with_values([1e12] * base.n)
-        opt = yds(inst).energy
-        entry = {
-            "seed": seed,
-            "yds": opt,
-            "oa": run_oa(inst).energy,
-            "avr": run_avr(inst).energy,
-            "bkp": run_bkp(inst).energy,
-            "qoa": run_qoa(inst).energy,
-            "pd": run_pd(inst).cost,
+        requests.extend(
+            RunRequest(name, inst, tag={"seed": seed}) for name in ALGOS
+        )
+    records = BatchRunner().run(requests)
+    rows = []
+    for i, seed in enumerate(SEEDS):
+        block = {
+            r.algorithm: r for r in records[i * len(ALGOS) : (i + 1) * len(ALGOS)]
         }
+        entry = {"seed": seed, "pd": block["pd"].cost}
+        for name in ("yds", "oa", "avr", "bkp", "qoa"):
+            entry[name] = block[name].energy
         rows.append(entry)
     return rows
 
@@ -70,21 +77,34 @@ def test_e10_classical_comparison(benchmark):
         f"{'seed':>4} {'YDS':>9} {'OA/':>7} {'qOA/':>7} {'BKP/':>7} "
         f"{'AVR/':>7} {'PD/':>7}   (ratios vs YDS optimum)",
         rows,
+        data=data,
     )
 
 
 @pytest.mark.benchmark(group="e10")
 def test_e10_oa_ratio_climbs_on_adversarial_family(benchmark):
     def run():
+        ns = [4, 8, 16, 32]
+        requests = [
+            RunRequest(name, lower_bound_instance(n, 3.0), tag={"n": n})
+            for n in ns
+            for name in ("yds", "oa")
+        ]
+        records = BatchRunner().run(requests)
         out = []
-        for n in [4, 8, 16, 32]:
-            inst = lower_bound_instance(n, 3.0)
-            out.append((n, run_oa(inst).energy / yds(inst).energy))
+        for i, n in enumerate(ns):
+            opt, oa = records[2 * i], records[2 * i + 1]
+            out.append((n, oa.energy / opt.energy))
         return out
 
     data = benchmark.pedantic(run, rounds=1, iterations=1)
     rows = [f"{n:>5d} {ratio:>8.3f}" for n, ratio in data]
-    emit_table("e10_oa_adversarial", f"{'n':>5} {'OA/OPT':>8}", rows)
+    emit_table(
+        "e10_oa_adversarial",
+        f"{'n':>5} {'OA/OPT':>8}",
+        rows,
+        data=[{"n": n, "oa_over_opt": ratio} for n, ratio in data],
+    )
     ratios = [r for _, r in data]
     assert all(b > a for a, b in zip(ratios, ratios[1:]))
     assert ratios[-1] <= 27.0

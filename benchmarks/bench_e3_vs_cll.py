@@ -10,6 +10,11 @@ The paper improves the single-processor guarantee from
   the two algorithms' realized costs stay within a small factor of each
   other (PD's improvement is in the guarantee; on typical instances both
   behave like OA with an admission filter).
+
+The head-to-head grid runs on the experiment engine: one
+:class:`RunRequest` per (family, alpha, seed, algorithm), with the
+per-job acceptance decisions read back from the records' serialized
+schedules — both algorithms report them in arrival order.
 """
 
 from __future__ import annotations
@@ -18,12 +23,19 @@ import math
 
 import pytest
 
-from repro import run_cll, run_pd
+from repro.engine import BatchRunner, RunRequest
 from repro.workloads import heavy_tail_instance, poisson_instance, tight_instance
 
 from helpers import emit_table
 
 ALPHAS = [1.5, 2.0, 2.5, 3.0]
+FAMILIES = [
+    ("poisson", poisson_instance),
+    ("heavy-tail", heavy_tail_instance),
+    ("tight", tight_instance),
+]
+HEAD_TO_HEAD_ALPHAS = [2.0, 3.0]
+SEEDS = range(4)
 
 
 @pytest.mark.benchmark(group="e3")
@@ -45,27 +57,38 @@ def test_e3_guarantee_table(benchmark):
         "e3_guarantees",
         f"{'alpha':>5} {'PD: alpha^a':>14} {'CLL: a^a+2e^a':>16} {'improvement':>13}",
         rows,
+        data=[
+            {"alpha": a, "pd_bound": p, "cll_bound": c, "improvement": c / p}
+            for a, p, c in data
+        ],
     )
 
 
 def head_to_head():
+    requests = []
+    for name, family in FAMILIES:
+        for alpha in HEAD_TO_HEAD_ALPHAS:
+            for seed in SEEDS:
+                inst = family(15, m=1, alpha=alpha, seed=seed)
+                requests.append(RunRequest("pd", inst))
+                requests.append(RunRequest("cll", inst))
+    records = BatchRunner().run(requests)
+
     out = []
-    for name, family in [
-        ("poisson", poisson_instance),
-        ("heavy-tail", heavy_tail_instance),
-        ("tight", tight_instance),
-    ]:
-        for alpha in [2.0, 3.0]:
+    i = 0
+    for name, _family in FAMILIES:
+        for alpha in HEAD_TO_HEAD_ALPHAS:
             pd_total = cll_total = 0.0
             agree = total = 0
-            for seed in range(4):
-                inst = family(15, m=1, alpha=alpha, seed=seed)
-                pd = run_pd(inst)
-                cll = run_cll(inst.sorted_by_release())
+            for _seed in SEEDS:
+                pd, cll = records[i], records[i + 1]
+                i += 2
                 pd_total += pd.cost
                 cll_total += cll.cost
-                agree += int((pd.accepted_mask == cll.accepted_mask).sum())
-                total += inst.n
+                agree += sum(
+                    a == b for a, b in zip(pd.finished, cll.finished)
+                )
+                total += len(pd.finished)
             out.append((name, alpha, pd_total, cll_total, agree / total))
     return out
 
@@ -90,4 +113,14 @@ def test_e3_empirical_head_to_head(benchmark):
         f"{'family':>11} {'alpha':>5} {'PD cost':>12} {'CLL cost':>12} "
         f"{'PD/CLL':>8} {'agreement':>10}",
         rows,
+        data=[
+            {
+                "family": name,
+                "alpha": alpha,
+                "pd_cost": pd_cost,
+                "cll_cost": cll_cost,
+                "agreement": agreement,
+            }
+            for name, alpha, pd_cost, cll_cost, agreement in data
+        ],
     )

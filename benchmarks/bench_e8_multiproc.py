@@ -9,34 +9,50 @@ guarantee. We sweep m, comparing PD against the offline convex optimum
 * cost decreases monotonically in m (more parallelism never hurts),
 * PD tracks the offline optimum within a small factor far below the
   worst-case bound on benign workloads.
+
+The m-grid is a fixed-instance :class:`ExperimentSpec` on the engine;
+the offline comparator is reconstructed per cell from each record's
+serialized schedule (acceptance set + machine environment travel with
+the record, so the comparison needs no second PD run).
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro import dual_certificate, run_pd, solve_min_energy
+from repro import solve_min_energy
+from repro.engine import BatchRunner, ExperimentSpec, run_experiment
+from repro.io.serialize import schedule_from_dict
 from repro.workloads import diurnal_instance, poisson_instance
 
 from helpers import emit_table
 
 MS = [1, 2, 4, 8, 16]
+ALPHA = 3.0
+BOUND = ALPHA**ALPHA
 
 
 def multiproc_sweep():
+    base = poisson_instance(24, m=1, alpha=ALPHA, seed=11)
+    spec = ExperimentSpec(
+        name="e8_multiproc",
+        base_instance=base,
+        grid={"m": MS},
+        algorithms=("pd",),
+    )
     out = []
-    base = poisson_instance(24, m=1, alpha=3.0, seed=11)
-    for m in MS:
-        inst = base.with_machine(m=m)
-        result = run_pd(inst)
-        cert = dual_certificate(result)
+    for cell in run_experiment(spec, BatchRunner()):
+        record = cell.records[0]
+        schedule = schedule_from_dict(record.schedule)
         # Offline comparator: cheapest way to finish exactly PD's accepted
         # set, plus the same lost value (an upper bound on how much of
         # PD's cost is online overhead rather than acceptance choices).
-        accepted = [int(j) for j in result.accepted_mask.nonzero()[0]]
-        offline = solve_min_energy(result.schedule.instance, accepted)
-        offline_cost = offline.energy + result.schedule.lost_value
-        out.append((m, result.cost, offline_cost, cert.ratio, cert.bound))
+        accepted = [j for j, fin in enumerate(record.finished) if fin]
+        offline = solve_min_energy(schedule.instance, accepted)
+        offline_cost = offline.energy + schedule.lost_value
+        out.append(
+            (cell.params["m"], record.cost, offline_cost, record.certified_ratio)
+        )
     return out
 
 
@@ -45,12 +61,12 @@ def test_e8_processor_sweep(benchmark):
     data = benchmark.pedantic(multiproc_sweep, rounds=1, iterations=1)
     rows = []
     prev_cost = None
-    for m, cost, offline_cost, ratio, bound in data:
+    for m, cost, offline_cost, ratio in data:
         rows.append(
             f"{m:>3d} {cost:>12.4f} {offline_cost:>14.4f} "
-            f"{cost / offline_cost:>10.3f} {ratio:>9.3f} {bound:>8.1f}"
+            f"{cost / offline_cost:>10.3f} {ratio:>9.3f} {BOUND:>8.1f}"
         )
-        assert ratio <= bound * (1.0 + 1e-7)
+        assert ratio <= BOUND * (1.0 + 1e-7)
         assert cost >= offline_cost * (1.0 - 1e-7)
         if prev_cost is not None:
             assert cost <= prev_cost * (1.0 + 1e-6), "more processors hurt"
@@ -60,21 +76,44 @@ def test_e8_processor_sweep(benchmark):
         f"{'m':>3} {'PD cost':>12} {'offline(same)':>14} {'PD/offline':>11} "
         f"{'cert':>9} {'bound':>8}",
         rows,
+        data=[
+            {
+                "m": m,
+                "pd_cost": cost,
+                "offline_same_set": offline_cost,
+                "certified_ratio": ratio,
+                "bound": BOUND,
+            }
+            for m, cost, offline_cost, ratio in data
+        ],
     )
 
 
 @pytest.mark.benchmark(group="e8")
 def test_e8_datacenter_cluster(benchmark):
     def run():
-        out = []
-        for m in [2, 4, 8]:
-            inst = diurnal_instance(40, m=m, alpha=3.0, seed=3)
-            result = run_pd(inst)
-            cert = dual_certificate(result).require()
-            out.append((m, result.cost, float(result.accepted_mask.mean()), cert.ratio))
-        return out
+        spec = ExperimentSpec(
+            name="e8_datacenter",
+            family=diurnal_instance,
+            grid={"m": [2, 4, 8]},
+            algorithms=("pd",),
+            n=40,
+            seeds=(3,),
+            family_kwargs={"alpha": ALPHA},
+        )
+        return [
+            (
+                cell.params["m"],
+                cell.mean_cost,
+                cell.mean_acceptance,
+                cell.worst_certified_ratio,
+            )
+            for cell in run_experiment(spec, BatchRunner())
+        ]
 
     data = benchmark.pedantic(run, rounds=1, iterations=1)
+    for _m, _cost, _acc, ratio in data:
+        assert ratio <= BOUND * (1.0 + 1e-7)  # the certificate held
     rows = [
         f"{m:>3d} {cost:>12.3f} {100 * acc:>9.1f}% {ratio:>8.3f}"
         for m, cost, acc, ratio in data
@@ -83,6 +122,10 @@ def test_e8_datacenter_cluster(benchmark):
         "e8_datacenter",
         f"{'m':>3} {'PD cost':>12} {'accepted':>10} {'ratio':>8}",
         rows,
+        data=[
+            {"m": m, "pd_cost": cost, "accepted": acc, "ratio": ratio}
+            for m, cost, acc, ratio in data
+        ],
     )
     # More capacity -> (weakly) more accepted jobs on the same trace.
     acc = [a for _, _, a, _ in data]

@@ -17,14 +17,35 @@ table, not the nanoseconds, while genuine hot-path micro-benchmarks (in
 
 from __future__ import annotations
 
+import json
+import math
 import os
-from typing import Iterable
+from typing import Any, Iterable, Mapping, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
-def emit_table(name: str, header: str, rows: Iterable[str]) -> str:
-    """Print a table and persist it under ``benchmarks/results/<name>.txt``."""
+def _jsonable(value: Any) -> Any:
+    """Map a cell value to strict JSON (NaN/inf become null)."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+def emit_table(
+    name: str,
+    header: str,
+    rows: Iterable[str],
+    *,
+    data: Sequence[Mapping[str, Any]] | None = None,
+) -> str:
+    """Print a table and persist it under ``benchmarks/results/``.
+
+    Always writes the human-readable ``<name>.txt``. When ``data`` is
+    given (a list of per-row dicts), also writes a machine-readable
+    ``<name>.json`` next to it, so the perf/ratio trajectory across
+    commits can be tracked by tooling instead of by parsing tables.
+    """
     lines = [header, "-" * len(header)]
     lines.extend(rows)
     text = "\n".join(lines)
@@ -33,4 +54,16 @@ def emit_table(name: str, header: str, rows: Iterable[str]) -> str:
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
         fh.write(text + "\n")
+    if data is not None:
+        payload = {
+            "schema": 1,
+            "kind": "bench-table",
+            "name": name,
+            "rows": [
+                {k: _jsonable(v) for k, v in row.items()} for row in data
+            ],
+        }
+        with open(os.path.join(RESULTS_DIR, f"{name}.json"), "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
     return text

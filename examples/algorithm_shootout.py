@@ -7,12 +7,19 @@ offline optimum — a compact view of forty years of speed-scaling theory:
 YDS (1995, offline) through OA/AVR (1995), BKP (2004), qOA (2009),
 CLL (2010), to the paper's PD (2013).
 
+The whole matrix is a single :class:`repro.BatchRunner` batch: one
+request per (family × algorithm × variant) cell, with the registry's
+``profit_aware`` capability deciding which algorithms get to see real
+job values. Pass ``workers=4`` (or ``cache=<dir>``) to the
+:class:`~repro.BatchRunner` below and the matrix parallelizes — the
+cells were always independent; the engine just makes that free.
+
 Run: ``python examples/algorithm_shootout.py``
 """
 
 from __future__ import annotations
 
-from repro import run_algorithm, yds
+from repro import REGISTRY, BatchRunner, RunRequest
 from repro.workloads import agreeable_instance, poisson_instance, tight_instance
 
 ONLINE = ["oa", "qoa", "bkp", "avr", "cll", "pd"]
@@ -25,32 +32,39 @@ def main() -> None:
         ("tight", tight_instance(14, m=1, alpha=3.0, seed=4)),
     ]
 
+    # One flat request list: per family, the profitable matrix, then the
+    # YDS optimum plus the must-finish matrix.
+    requests: list[RunRequest] = []
+    for _name, inst in families:
+        classical = inst.with_values([1e12] * inst.n)
+        for algo in ONLINE:
+            # Classical algorithms ignore values (they finish everything);
+            # run them on the must-finish variant for a fair energy figure.
+            target = inst if REGISTRY.info(algo).profit_aware else classical
+            requests.append(RunRequest(algo, target))
+        requests.append(RunRequest("yds", classical))
+        requests.extend(RunRequest(a, classical) for a in ONLINE)
+    records = iter(BatchRunner().run(requests))
+
+    profitable: dict[str, list[float]] = {}
+    ratios: dict[str, list[float]] = {}
+    for name, _inst in families:
+        profitable[name] = [next(records).cost for _ in ONLINE]
+        opt = next(records).energy
+        ratios[name] = [next(records).energy / opt for _ in ONLINE]
+
     print("costs on PROFITABLE instances (values respected by cll/pd only):\n")
     header = f"{'family':<11}" + "".join(f"{name:>10}" for name in ONLINE)
     print(header)
     print("-" * len(header))
-    for name, inst in families:
-        cells = []
-        for algo in ONLINE:
-            # Classical algorithms ignore values (they finish everything);
-            # run them on the must-finish variant for a fair energy figure.
-            target = (
-                inst
-                if algo in ("cll", "pd")
-                else inst.with_values([1e12] * inst.n)
-            )
-            cells.append(run_algorithm(algo, target).cost)
-        print(f"{name:<11}" + "".join(f"{c:>10.3f}" for c in cells))
+    for name, _inst in families:
+        print(f"{name:<11}" + "".join(f"{c:>10.3f}" for c in profitable[name]))
 
     print("\nratios to the offline optimum on MUST-FINISH variants:\n")
-    header = f"{'family':<11}" + "".join(f"{name:>10}" for name in ONLINE)
     print(header)
     print("-" * len(header))
-    for name, inst in families:
-        classical = inst.with_values([1e12] * inst.n)
-        opt = yds(classical).energy
-        cells = [run_algorithm(a, classical).energy / opt for a in ONLINE]
-        print(f"{name:<11}" + "".join(f"{c:>10.3f}" for c in cells))
+    for name, _inst in families:
+        print(f"{name:<11}" + "".join(f"{c:>10.3f}" for c in ratios[name]))
     print(
         "\nReading guide: OA tracks the optimum closely on benign inputs; "
         "qOA/BKP pay their speed premiums (their guarantees only bite "

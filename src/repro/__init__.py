@@ -22,6 +22,8 @@ Layout
   (the energy function ``P_k`` and its marginals).
 * :mod:`repro.core` — the paper's primal-dual algorithm **PD**, the
   Chan–Lam–Li baseline, and a uniform algorithm runner.
+* :mod:`repro.engine` — the experiment engine: capability-aware
+  algorithm registry, parallel/cached batch runner, declarative sweeps.
 * :mod:`repro.classical` — YDS, OA, AVR, BKP, qOA.
 * :mod:`repro.offline` — convex program + exact (IMP) solver.
 * :mod:`repro.analysis` — dual certificates, Lemma/Proposition checks.
@@ -50,6 +52,17 @@ from .core import (
     run_pd,
 )
 from .discrete import SpeedSet, discretize_schedule, run_pd_discrete
+from .engine import (
+    REGISTRY,
+    AlgorithmInfo,
+    AlgorithmRegistry,
+    BatchRunner,
+    ExperimentSpec,
+    ResultCache,
+    RunRecord,
+    RunRequest,
+    run_experiment,
+)
 from .errors import ReproError
 from .general import SumPower, general_dual_bound, run_pd_general
 from .profit import profit_of, run_pd_augmented
@@ -74,6 +87,16 @@ __all__ = [
     "PDScheduler",
     "run_cll",
     "run_algorithm",
+    # engine (registry / batch runner / declarative experiments)
+    "REGISTRY",
+    "AlgorithmInfo",
+    "AlgorithmRegistry",
+    "BatchRunner",
+    "ResultCache",
+    "RunRequest",
+    "RunRecord",
+    "ExperimentSpec",
+    "run_experiment",
     # classical
     "yds",
     "run_oa",

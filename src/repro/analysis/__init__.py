@@ -22,7 +22,12 @@ from .categories import (
     category_threshold,
     lemma_bounds,
 )
-from .certificates import DualCertificate, contributing_jobs, dual_certificate
+from .certificates import (
+    DualCertificate,
+    certificate_from_duals,
+    contributing_jobs,
+    dual_certificate,
+)
 from .hindsight import HindsightDecomposition, hindsight_decomposition
 from .metrics import ScheduleMetrics, empirical_ratio, schedule_metrics
 from .preemption import PreemptionStats, preemption_stats
@@ -45,6 +50,7 @@ __all__ = [
     "PreemptionStats",
     "preemption_stats",
     "dual_certificate",
+    "certificate_from_duals",
     "DualCertificate",
     "contributing_jobs",
     "categorize",

@@ -32,7 +32,12 @@ from ..core.pd import PDResult
 from ..errors import CertificateError
 from ..types import FloatArray
 
-__all__ = ["DualCertificate", "dual_certificate", "contributing_jobs"]
+__all__ = [
+    "DualCertificate",
+    "dual_certificate",
+    "certificate_from_duals",
+    "contributing_jobs",
+]
 
 
 @dataclass(frozen=True)
@@ -115,13 +120,26 @@ def contributing_jobs(
 
 def dual_certificate(result: PDResult) -> DualCertificate:
     """Evaluate ``g(lambda~)`` and package the Theorem 3 certificate."""
-    schedule = result.schedule
+    return certificate_from_duals(result.schedule, result.lambdas)
+
+
+def certificate_from_duals(schedule, lambdas: FloatArray) -> DualCertificate:
+    """Evaluate ``g(lambda)`` for *any* nonnegative dual vector.
+
+    Weak duality does not care where the duals came from: for every
+    ``lambda >= 0``, the closed form of Lemmas 4–6 is a genuine lower
+    bound on OPT, so any algorithm able to exhibit a dual vector gets a
+    certified ratio — PD uses its own ``lambda~`` (Theorem 3), CLL the
+    duals implied by its planned admission speeds. Only PD's duals are
+    *guaranteed* to stay under ``alpha**alpha``; for other sources the
+    ratio is an honest measurement that may exceed the bound.
+    """
     instance = schedule.instance
     grid = schedule.grid
     alpha = instance.alpha
     m = instance.m
     w = instance.workloads
-    lam = result.lambdas
+    lam = np.asarray(lambdas, dtype=np.float64)
 
     s_hat = (np.maximum(lam, 0.0) / (alpha * w)) ** (1.0 / (alpha - 1.0))
     avail = grid.availability_matrix(instance)

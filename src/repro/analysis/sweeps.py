@@ -6,9 +6,15 @@ This module provides that shape as a small library so that notebooks,
 examples, and downstream users can define new experiments in a few lines
 instead of copying harness code.
 
-Everything is deterministic given the seeds; cells are independent, so a
-sweep is trivially parallelizable by the caller if ever needed (the
-default sizes run in seconds).
+The grid functions here are thin declarative wrappers over the engine
+(:class:`repro.engine.ExperimentSpec` compiled and executed by a
+:class:`repro.engine.BatchRunner`): every sweep accepts an optional
+``runner=`` to run its cells on a process pool and/or against the
+content-addressed result cache. The default (no runner) evaluates
+serially in-process — same results, bit for bit. Certified ratios are
+filled for exactly the algorithms whose registry entry declares the
+``certificate-producing`` capability (``pd``, ``pd-aug``, ``cll``, ...);
+other algorithms report ``NaN`` rather than a fake number.
 """
 
 from __future__ import annotations
@@ -16,13 +22,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
-import numpy as np
-
 from ..core.pd import run_pd
-from ..core.simulator import run_algorithm
+from ..engine.experiment import ExperimentCell, ExperimentSpec, run_experiment
+from ..engine.runner import BatchRunner
 from ..errors import InvalidParameterError
 from ..model.job import Instance
-from .certificates import dual_certificate
 
 __all__ = [
     "SweepCell",
@@ -54,6 +58,16 @@ class SweepCell:
         )
 
 
+def _to_sweep_cell(cell: ExperimentCell, params: dict) -> SweepCell:
+    return SweepCell(
+        params=params,
+        mean_cost=float(cell.mean_cost),
+        worst_certified_ratio=float(cell.worst_certified_ratio),
+        mean_acceptance=float(cell.mean_acceptance),
+        runs=cell.runs,
+    )
+
+
 def ratio_sweep(
     family: Callable[..., Instance],
     *,
@@ -61,6 +75,7 @@ def ratio_sweep(
     ms: Sequence[int],
     n: int = 20,
     seeds: Iterable[int] = range(3),
+    runner: BatchRunner | None = None,
     **family_kwargs,
 ) -> list[SweepCell]:
     """PD certificate ratios over an (alpha, m) grid for one family.
@@ -68,30 +83,19 @@ def ratio_sweep(
     ``family`` must accept ``(n, m=..., alpha=..., seed=...)`` — all
     generators in :mod:`repro.workloads` do.
     """
-    seeds = list(seeds)
-    if not seeds:
-        raise InvalidParameterError("need at least one seed")
-    cells: list[SweepCell] = []
-    for alpha in alphas:
-        for m in ms:
-            costs, ratios, accs = [], [], []
-            for seed in seeds:
-                inst = family(n, m=m, alpha=alpha, seed=seed, **family_kwargs)
-                result = run_pd(inst)
-                cert = dual_certificate(result)
-                costs.append(cert.cost)
-                ratios.append(cert.ratio)
-                accs.append(float(result.accepted_mask.mean()))
-            cells.append(
-                SweepCell(
-                    params={"alpha": alpha, "m": m},
-                    mean_cost=float(np.mean(costs)),
-                    worst_certified_ratio=float(np.max(ratios)),
-                    mean_acceptance=float(np.mean(accs)),
-                    runs=len(seeds),
-                )
-            )
-    return cells
+    spec = ExperimentSpec(
+        name="ratio_sweep",
+        family=family,
+        grid={"alpha": list(alphas), "m": list(ms)},
+        algorithms=("pd",),
+        n=n,
+        seeds=tuple(seeds),
+        family_kwargs=dict(family_kwargs),
+    )
+    return [
+        _to_sweep_cell(cell, dict(cell.params))
+        for cell in run_experiment(spec, runner)
+    ]
 
 
 def acceptance_curve(
@@ -102,6 +106,7 @@ def acceptance_curve(
     m: int = 1,
     alpha: float = 3.0,
     seeds: Iterable[int] = range(3),
+    runner: BatchRunner | None = None,
     **family_kwargs,
 ) -> list[SweepCell]:
     """Acceptance rate as job values scale up — the admission S-curve.
@@ -110,28 +115,19 @@ def acceptance_curve(
     accepted; the transition region is where the rejection policy earns
     its competitive ratio.
     """
-    seeds = list(seeds)
-    cells: list[SweepCell] = []
-    for mult in value_multipliers:
-        costs, ratios, accs = [], [], []
-        for seed in seeds:
-            base = family(n, m=m, alpha=alpha, seed=seed, **family_kwargs)
-            inst = base.with_values([j.value * mult for j in base.jobs])
-            result = run_pd(inst)
-            cert = dual_certificate(result)
-            costs.append(cert.cost)
-            ratios.append(cert.ratio)
-            accs.append(float(result.accepted_mask.mean()))
-        cells.append(
-            SweepCell(
-                params={"value_x": mult},
-                mean_cost=float(np.mean(costs)),
-                worst_certified_ratio=float(np.max(ratios)),
-                mean_acceptance=float(np.mean(accs)),
-                runs=len(seeds),
-            )
-        )
-    return cells
+    spec = ExperimentSpec(
+        name="acceptance_curve",
+        family=family,
+        grid={"value_x": list(value_multipliers)},
+        algorithms=("pd",),
+        n=n,
+        seeds=tuple(seeds),
+        family_kwargs={"m": m, "alpha": alpha, **family_kwargs},
+    )
+    return [
+        _to_sweep_cell(cell, dict(cell.params))
+        for cell in run_experiment(spec, runner)
+    ]
 
 
 def processor_scaling_curve(
@@ -139,26 +135,25 @@ def processor_scaling_curve(
     *,
     ms: Sequence[int],
     algorithm: str = "pd",
+    runner: BatchRunner | None = None,
 ) -> list[SweepCell]:
-    """One fixed job set re-run across machine sizes."""
-    cells: list[SweepCell] = []
-    for m in ms:
-        inst = instance.with_machine(m=m)
-        outcome = run_algorithm(algorithm, inst)
-        if algorithm == "pd":
-            ratio = dual_certificate(outcome.raw).ratio  # type: ignore[arg-type]
-        else:
-            ratio = float("nan")
-        cells.append(
-            SweepCell(
-                params={"m": m, "algorithm": algorithm},
-                mean_cost=outcome.cost,
-                worst_certified_ratio=ratio,
-                mean_acceptance=float(outcome.schedule.finished.mean()),
-                runs=1,
-            )
-        )
-    return cells
+    """One fixed job set re-run across machine sizes.
+
+    The certified ratio is populated whenever the algorithm's registry
+    entry declares the ``certificate-producing`` capability (``pd``,
+    ``pd-aug``, ``cll``, and future profit algorithms); algorithms
+    without a certificate report ``NaN``.
+    """
+    spec = ExperimentSpec(
+        name="processor_scaling_curve",
+        base_instance=instance,
+        grid={"m": list(ms)},
+        algorithms=(algorithm,),
+    )
+    return [
+        _to_sweep_cell(cell, {"m": cell.params["m"], "algorithm": algorithm})
+        for cell in run_experiment(spec, runner)
+    ]
 
 
 def format_cells(cells: Sequence[SweepCell], title: str = "") -> str:

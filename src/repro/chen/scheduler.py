@@ -144,7 +144,12 @@ def schedule_interval(
         if load > _LOAD_EPS
     ]
     pool_loads = [float(v) for v in part.sorted_loads[d:] if v > _LOAD_EPS]
-    if pool_loads:
+    # The partition works at a *relative* tolerance, so with all m
+    # processors dedicated the leftover "pool" can be sub-tolerance dust
+    # (e.g. a 1e-14 load behind m large ones): no pool processors, pool
+    # speed zero. Such dust carries no realizable work — skip the layout
+    # rather than divide by the zero speed.
+    if pool_loads and part.pool_load_per_processor > 0.0:
         pool_speed = part.pool_load_per_processor / length
         durations = [load / pool_speed for load in pool_loads]
         segments.extend(

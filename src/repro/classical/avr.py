@@ -46,3 +46,20 @@ def run_avr(instance: Instance) -> Schedule:
         loads=loads,
         finished=np.ones(instance.n, dtype=bool),
     )
+
+
+# ----------------------------------------------------------------------
+# Engine registration
+# ----------------------------------------------------------------------
+from ..engine.registry import register_algorithm  # noqa: E402
+
+
+@register_algorithm(
+    "avr",
+    online=True,
+    multiprocessor=True,
+    summary="Average Rate: constant density per job",
+)
+def _run_avr_registered(instance):
+    schedule = run_avr(instance)
+    return schedule, schedule

@@ -147,3 +147,20 @@ def _edf_slice(
         if remaining[j] < _WORK_TOL:
             remaining[j] = 0.0
         t = run_until
+
+
+# ----------------------------------------------------------------------
+# Engine registration
+# ----------------------------------------------------------------------
+from ..engine.registry import register_algorithm  # noqa: E402
+
+
+@register_algorithm(
+    "bkp",
+    online=True,
+    multiprocessor=False,
+    summary="Bansal-Kimbrel-Pruhs mirror algorithm (single processor)",
+)
+def _run_bkp_registered(instance):
+    schedule = run_bkp(instance)
+    return schedule, schedule

@@ -208,3 +208,20 @@ def run_oa_multiprocessor(instance: Instance) -> OAResult:
 
     schedule = schedule_from_segments(ordered, executed, np.ones(n, dtype=bool))
     return OAResult(schedule=schedule, segments=tuple(executed))
+
+
+# ----------------------------------------------------------------------
+# Engine registration
+# ----------------------------------------------------------------------
+from ..engine.registry import register_algorithm  # noqa: E402
+
+
+@register_algorithm(
+    "oa",
+    online=True,
+    multiprocessor=True,
+    summary="Optimal Available (alpha^alpha-competitive; m > 1 via dispatch)",
+)
+def _run_oa_registered(instance):
+    result = run_oa(instance) if instance.m == 1 else run_oa_multiprocessor(instance)
+    return result.schedule, result

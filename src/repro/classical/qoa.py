@@ -118,3 +118,20 @@ def _plan_speed_lookup(segments):
         return 0.0
 
     return speed_at
+
+
+# ----------------------------------------------------------------------
+# Engine registration
+# ----------------------------------------------------------------------
+from ..engine.registry import register_algorithm  # noqa: E402
+
+
+@register_algorithm(
+    "qoa",
+    online=True,
+    multiprocessor=False,
+    summary="OA sped up by q = 2 - 1/alpha (single processor)",
+)
+def _run_qoa_registered(instance):
+    schedule = run_qoa(instance)
+    return schedule, schedule

@@ -180,3 +180,20 @@ def _loads_from_segments(
             if hi > lo + _EPS:
                 loads[job, k] += (hi - lo) * speed
     return loads
+
+
+# ----------------------------------------------------------------------
+# Engine registration
+# ----------------------------------------------------------------------
+from ..engine.registry import register_algorithm  # noqa: E402
+
+
+@register_algorithm(
+    "yds",
+    online=False,
+    multiprocessor=False,
+    summary="Yao-Demers-Shenker offline optimum (single processor)",
+)
+def _run_yds_registered(instance):
+    result = yds(instance)
+    return result.schedule, result

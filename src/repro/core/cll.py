@@ -145,3 +145,51 @@ def run_cll(instance: Instance) -> CLLResult:
         planned_speeds=planned_speed,
         admission_thresholds=thresholds,
     )
+
+
+# ----------------------------------------------------------------------
+# Engine registration
+# ----------------------------------------------------------------------
+from ..engine.registry import register_algorithm  # noqa: E402
+
+
+def _cll_certificate(result: CLLResult):
+    """Dual certificate from CLL's planned admission speeds.
+
+    Accepted jobs get the PD-style price ``alpha * w_j * s_j**(alpha-1)``
+    of the speed they were admitted at (clamped at the value, as PD's
+    duals always are); rejected jobs pay their value — the dual vector
+    PD would hold under the Section 3 equivalence. Weak duality makes
+    ``g`` of *any* nonnegative duals a lower bound on OPT, so each
+    candidate yields a certified ratio and the best (largest ``g``)
+    wins; only PD's own duals additionally carry the ``alpha**alpha``
+    guarantee. Damped variants are tried because CLL's planned speeds
+    are admission-time snapshots, not equilibrium prices — the raw
+    vector can overshoot into the concave region where ``g`` collapses.
+    """
+    from ..analysis.certificates import certificate_from_duals
+
+    inst = result.schedule.instance
+    alpha = inst.alpha
+    prices = alpha * inst.workloads * result.planned_speeds ** (alpha - 1.0)
+    lam = np.where(
+        result.accepted_mask, np.minimum(prices, inst.values), inst.values
+    )
+    candidates = (lam, 0.5 * lam, 0.25 * lam)
+    return max(
+        (certificate_from_duals(result.schedule, c) for c in candidates),
+        key=lambda cert: cert.g,
+    )
+
+
+@register_algorithm(
+    "cll",
+    profit_aware=True,
+    online=True,
+    multiprocessor=False,
+    certificate=_cll_certificate,
+    summary="Chan-Lam-Li admission-filtered OA (single processor)",
+)
+def _run_cll_registered(instance: Instance) -> tuple[Schedule, object]:
+    result = run_cll(instance)
+    return result.schedule, result

@@ -288,3 +288,28 @@ def run_pd(instance: Instance, *, delta: float | None = None) -> PDResult:
     for job in ordered.jobs:
         scheduler.arrive(job)
     return scheduler.finish()
+
+
+# ----------------------------------------------------------------------
+# Engine registration
+# ----------------------------------------------------------------------
+from ..engine.registry import register_algorithm  # noqa: E402
+
+
+def _pd_certificate(result: PDResult):
+    from ..analysis.certificates import dual_certificate
+
+    return dual_certificate(result)
+
+
+@register_algorithm(
+    "pd",
+    profit_aware=True,
+    online=True,
+    multiprocessor=True,
+    certificate=_pd_certificate,
+    summary="the paper's primal-dual algorithm (alpha^alpha-competitive, any m)",
+)
+def _run_pd_registered(instance: Instance) -> tuple[Schedule, object]:
+    result = run_pd(instance)
+    return result.schedule, result

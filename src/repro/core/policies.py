@@ -188,3 +188,42 @@ def run_oracle_admission(instance: Instance) -> PolicyResult:
     return run_with_admission(
         ordered, tuple(solution.accepted), policy="oracle-admission"
     )
+
+
+# ----------------------------------------------------------------------
+# Engine registration
+# ----------------------------------------------------------------------
+from ..engine.registry import register_algorithm  # noqa: E402
+
+
+def _policy_adapter(fn):
+    def runner(instance: Instance):
+        result = fn(instance)
+        return result.schedule, result
+
+    return runner
+
+
+for _name, _fn, _online, _summary in (
+    ("accept-all", run_accept_all, True, "admit every job (classical regime)"),
+    ("reject-all", run_reject_all, True, "admit nothing; pay the total value"),
+    (
+        "solo-threshold",
+        run_solo_threshold,
+        True,
+        "static admission by solo energy vs alpha^(alpha-2) * value",
+    ),
+    (
+        "oracle-admission",
+        run_oracle_admission,
+        False,
+        "admit the offline optimum's acceptance set, place online",
+    ),
+):
+    register_algorithm(
+        _name,
+        profit_aware=True,
+        online=_online,
+        multiprocessor=True,
+        summary=_summary,
+    )(_policy_adapter(_fn))

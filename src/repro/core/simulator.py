@@ -1,158 +1,43 @@
-"""Uniform runner registry for every scheduler in the library.
+"""Uniform runner façade over the engine's algorithm registry.
 
-Benchmarks, examples, and comparison tables all want to say "run
-algorithm X on instance I and give me a schedule + cost". This module
-provides that single entry point with a string registry, hiding the
-differences between result types (PD returns a :class:`PDResult`, OA an
-:class:`OAResult`, AVR a bare :class:`Schedule`, ...).
+Historically this module *was* the registry — a private string → runner
+dict. That moved to the capability-aware
+:class:`repro.engine.registry.AlgorithmRegistry` (see
+``docs/architecture.md``); what remains here is the stable public
+entry point benchmarks, examples, and downstream code import:
 
-Profit-aware algorithms (``pd``, ``cll``, ``exact``) respect job values;
-classical ones (``yds``, ``oa``, ``avr``, ``bkp``, ``qoa``) finish
-everything and simply ignore them — their cost on a profitable instance
-is therefore pure energy.
+* :func:`run_algorithm` — run any registered algorithm by name,
+* :func:`available_algorithms` — the sorted name list,
+* :class:`RunOutcome` — the normalized result (re-exported from the
+  engine).
+
+Profit-aware algorithms (``pd``, ``pd-aug``, ``cll``, ``exact``, the
+admission policies) respect job values; classical ones (``yds``, ``oa``,
+``avr``, ``bkp``, ``qoa``) finish everything and simply ignore them —
+their cost on a profitable instance is therefore pure energy. Capability
+metadata (profit-aware, online/offline, multiprocessor,
+certificate-producing) lives on the registry:
+``repro.engine.REGISTRY.info(name)``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
-
-from ..errors import InvalidParameterError
+from ..engine.registry import REGISTRY, RunOutcome
 from ..model.job import Instance
-from ..model.schedule import Schedule
 
 __all__ = ["RunOutcome", "run_algorithm", "available_algorithms"]
 
 
-@dataclass(frozen=True)
-class RunOutcome:
-    """Normalized result of running any registered algorithm."""
-
-    name: str
-    schedule: Schedule
-    raw: object
-
-    @property
-    def cost(self) -> float:
-        return self.schedule.cost
-
-    @property
-    def energy(self) -> float:
-        return self.schedule.energy
-
-
-def _run_pd(instance: Instance) -> tuple[Schedule, object]:
-    from .pd import run_pd
-
-    result = run_pd(instance)
-    return result.schedule, result
-
-
-def _run_cll(instance: Instance) -> tuple[Schedule, object]:
-    from .cll import run_cll
-
-    result = run_cll(instance)
-    return result.schedule, result
-
-
-def _run_yds(instance: Instance) -> tuple[Schedule, object]:
-    from ..classical.yds import yds
-
-    result = yds(instance)
-    return result.schedule, result
-
-
-def _run_oa(instance: Instance) -> tuple[Schedule, object]:
-    from ..classical.oa import run_oa, run_oa_multiprocessor
-
-    result = run_oa(instance) if instance.m == 1 else run_oa_multiprocessor(instance)
-    return result.schedule, result
-
-
-def _run_avr(instance: Instance) -> tuple[Schedule, object]:
-    from ..classical.avr import run_avr
-
-    schedule = run_avr(instance)
-    return schedule, schedule
-
-
-def _run_bkp(instance: Instance) -> tuple[Schedule, object]:
-    from ..classical.bkp import run_bkp
-
-    schedule = run_bkp(instance)
-    return schedule, schedule
-
-
-def _run_qoa(instance: Instance) -> tuple[Schedule, object]:
-    from ..classical.qoa import run_qoa
-
-    schedule = run_qoa(instance)
-    return schedule, schedule
-
-
-def _run_offline_cp(instance: Instance) -> tuple[Schedule, object]:
-    from ..offline.convex import solve_min_energy
-
-    solution = solve_min_energy(instance)
-    return solution.schedule, solution
-
-
-def _run_exact(instance: Instance) -> tuple[Schedule, object]:
-    from ..offline.optimal import solve_exact
-
-    solution = solve_exact(instance)
-    return solution.schedule, solution
-
-
-def _policy_runner(name: str) -> Callable[[Instance], tuple[Schedule, object]]:
-    def runner(instance: Instance) -> tuple[Schedule, object]:
-        from . import policies
-
-        fn = {
-            "accept-all": policies.run_accept_all,
-            "reject-all": policies.run_reject_all,
-            "solo-threshold": policies.run_solo_threshold,
-            "oracle-admission": policies.run_oracle_admission,
-        }[name]
-        result = fn(instance)
-        return result.schedule, result
-
-    return runner
-
-
-_REGISTRY: dict[str, Callable[[Instance], tuple[Schedule, object]]] = {
-    "pd": _run_pd,
-    "cll": _run_cll,
-    "yds": _run_yds,
-    "oa": _run_oa,
-    "avr": _run_avr,
-    "bkp": _run_bkp,
-    "qoa": _run_qoa,
-    "offline-cp": _run_offline_cp,
-    "exact": _run_exact,
-    "accept-all": _policy_runner("accept-all"),
-    "reject-all": _policy_runner("reject-all"),
-    "solo-threshold": _policy_runner("solo-threshold"),
-    "oracle-admission": _policy_runner("oracle-admission"),
-}
-
-
 def available_algorithms() -> tuple[str, ...]:
     """Registered algorithm names, alphabetically."""
-    return tuple(sorted(_REGISTRY))
+    return REGISTRY.names()
 
 
 def run_algorithm(name: str, instance: Instance) -> RunOutcome:
     """Run a registered algorithm by name.
 
-    Raises :class:`InvalidParameterError` for unknown names — with the
-    list of valid ones, because benchmark configs are hand-typed.
+    Raises :class:`~repro.errors.InvalidParameterError` for unknown
+    names — with the list of valid ones, because benchmark configs are
+    hand-typed.
     """
-    try:
-        runner = _REGISTRY[name]
-    except KeyError:
-        raise InvalidParameterError(
-            f"unknown algorithm {name!r}; available: {', '.join(available_algorithms())}"
-        ) from None
-    schedule, raw = runner(instance)
-    return RunOutcome(name=name, schedule=schedule, raw=raw)
+    return REGISTRY.run(name, instance)

@@ -1,0 +1,58 @@
+"""The experiment engine: registry → batch runner → declarative sweeps.
+
+Three layers, each usable on its own:
+
+* :mod:`repro.engine.registry` — the capability-aware
+  :class:`AlgorithmRegistry` every scheduler registers into
+  (profit-aware / online / multiprocessor / certificate-producing);
+* :mod:`repro.engine.runner` — :class:`BatchRunner`, which evaluates
+  (algorithm × instance) grids serially or on a process pool with a
+  content-addressed on-disk :class:`ResultCache`;
+* :mod:`repro.engine.experiment` — :class:`ExperimentSpec`, the
+  declarative parameter-grid form that compiles down to batch requests.
+
+See ``docs/architecture.md`` for the layering contract and the cache
+key scheme.
+"""
+
+from .cache import ResultCache
+from .experiment import (
+    ExperimentCell,
+    ExperimentSpec,
+    resolve_family,
+    run_experiment,
+)
+from .registry import (
+    REGISTRY,
+    AlgorithmInfo,
+    AlgorithmRegistry,
+    RunOutcome,
+    register_algorithm,
+)
+from .runner import (
+    BatchRunner,
+    RunnerStats,
+    RunRecord,
+    RunRequest,
+    evaluate_request,
+    request_key,
+)
+
+__all__ = [
+    "REGISTRY",
+    "AlgorithmInfo",
+    "AlgorithmRegistry",
+    "RunOutcome",
+    "register_algorithm",
+    "ResultCache",
+    "BatchRunner",
+    "RunnerStats",
+    "RunRecord",
+    "RunRequest",
+    "request_key",
+    "evaluate_request",
+    "ExperimentSpec",
+    "ExperimentCell",
+    "run_experiment",
+    "resolve_family",
+]

@@ -1,0 +1,74 @@
+"""Content-addressed on-disk cache for batch-runner results.
+
+Each cache entry is one JSON file named ``<sha256>.json`` under the cache
+directory, where the hash is the :func:`repro.io.serialize.stable_hash`
+of the *request* (algorithm name + the instance's serialized form + the
+record schema version). Re-running a sweep with one changed cell
+therefore recomputes exactly that cell: every other request hashes to an
+existing file.
+
+The cache is deliberately dumb — no index, no eviction, no locking
+beyond atomic-rename writes. Entries are immutable once written (content
+addressing makes overwrites idempotent), so concurrent readers and
+writers cannot corrupt each other, and ``rm -r`` of the directory is
+always a safe reset.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """A directory of content-addressed JSON payloads."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The cached payload for ``key``, or ``None`` on a miss.
+
+        A corrupt file (interrupted write from a pre-atomic-rename tool,
+        disk trouble) is treated as a miss, not an error — the entry will
+        be recomputed and rewritten.
+        """
+        path = self._path(key)
+        try:
+            return json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError):
+            return None
+
+    def put(self, key: str, payload: dict[str, Any]) -> None:
+        """Store ``payload`` under ``key`` (atomic write-then-rename)."""
+        path = self._path(key)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))

@@ -1,0 +1,232 @@
+"""Declarative experiments: parameter grids compiled to batch requests.
+
+An :class:`ExperimentSpec` names *what* to measure — a workload family
+(or one fixed instance), a parameter grid, seeds, and algorithms — and
+:func:`run_experiment` compiles it into the flat (algorithm × cell ×
+seed) request list a :class:`~repro.engine.runner.BatchRunner` executes,
+then aggregates the records back into per-cell summaries. The
+hand-rolled triple loops of :mod:`repro.analysis.sweeps`, the benchmark
+harnesses, and the CLI ``sweep`` subcommand are all this one shape.
+
+Grid parameters are applied by name:
+
+* ``alpha``, ``m`` — forwarded to the family (and, for a fixed base
+  instance, applied via :meth:`~repro.model.job.Instance.with_machine`);
+* ``value_x`` — scales every job value by the given factor *after*
+  generation (the admission S-curve knob);
+* any other key — forwarded to the family as a keyword argument.
+
+Cells are emitted in deterministic order: grid axes vary in declaration
+order (first axis slowest), algorithms cycle innermost. Seeds replicate
+each cell and are aggregated (mean cost/acceptance, worst certified
+ratio) — the same statistics the sweeps module always reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Any, Callable, Mapping, Sequence
+
+from ..errors import InvalidParameterError
+from ..model.job import Instance
+from .runner import BatchRunner, RunRecord, RunRequest
+
+__all__ = ["ExperimentSpec", "ExperimentCell", "run_experiment", "resolve_family"]
+
+FamilyFn = Callable[..., Instance]
+
+
+def resolve_family(family: str | FamilyFn) -> FamilyFn:
+    """A workload family by name (or pass a callable through).
+
+    Named families come from :func:`repro.workloads.named_families` —
+    the same table the CLI ``generate`` subcommand offers.
+    """
+    if callable(family):
+        return family
+    from .. import workloads
+
+    families = workloads.named_families()
+    try:
+        return families[family]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown workload family {family!r}; "
+            f"available: {', '.join(sorted(families))}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class ExperimentCell:
+    """Aggregated measurements of one parameter cell of an experiment."""
+
+    algorithm: str
+    params: dict[str, Any]
+    mean_cost: float
+    mean_energy: float
+    mean_acceptance: float
+    worst_certified_ratio: float
+    runs: int
+    records: tuple[RunRecord, ...] = field(repr=False, default=())
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A declarative experiment over a workload family or fixed instance.
+
+    Parameters
+    ----------
+    name:
+        Display/bookkeeping label.
+    grid:
+        Ordered mapping axis-name → values; the cross product defines
+        the cells. May be empty (a single cell).
+    algorithms:
+        Registry names to evaluate on every cell.
+    family:
+        Workload generator — a callable ``(n, *, m, alpha, seed,
+        **kwargs)`` or a :func:`repro.workloads.named_families` name.
+        Mutually exclusive with ``base_instance``.
+    base_instance:
+        A fixed job set re-run across the grid (only ``m`` / ``alpha`` /
+        ``value_x`` axes make sense then); seeds are ignored.
+    n, seeds, family_kwargs:
+        Forwarded to the family; each cell is replicated per seed.
+    transform:
+        Optional hook ``(instance, params) -> instance`` applied after
+        generation — for derived axes no named parameter covers.
+    """
+
+    name: str
+    grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    algorithms: Sequence[str] = ("pd",)
+    family: str | FamilyFn | None = None
+    base_instance: Instance | None = None
+    n: int = 20
+    seeds: Sequence[int] = (0, 1, 2)
+    family_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    transform: Callable[[Instance, Mapping[str, Any]], Instance] | None = None
+    skip_incapable: bool = False
+
+    def __post_init__(self) -> None:
+        if (self.family is None) == (self.base_instance is None):
+            raise InvalidParameterError(
+                "specify exactly one of family= or base_instance="
+            )
+        if not self.algorithms:
+            raise InvalidParameterError("need at least one algorithm")
+        if self.family is not None and not list(self.seeds):
+            raise InvalidParameterError("need at least one seed")
+
+    # ------------------------------------------------------------------
+    def cells(self) -> list[dict[str, Any]]:
+        """The parameter dicts of every grid cell, in deterministic order."""
+        axes = list(self.grid.items())
+        if not axes:
+            return [{}]
+        names = [name for name, _ in axes]
+        return [
+            dict(zip(names, combo))
+            for combo in product(*(values for _, values in axes))
+        ]
+
+    def _build_instance(self, params: Mapping[str, Any], seed: int | None) -> Instance:
+        value_x = params.get("value_x")
+        family_params = {
+            k: v for k, v in params.items() if k != "value_x"
+        }
+        if self.base_instance is not None:
+            inst = self.base_instance
+            m = family_params.pop("m", None)
+            alpha = family_params.pop("alpha", None)
+            if family_params:
+                raise InvalidParameterError(
+                    f"fixed-instance experiments only support m/alpha/value_x "
+                    f"axes, got {sorted(family_params)}"
+                )
+            if m is not None or alpha is not None:
+                inst = inst.with_machine(m=m, alpha=alpha)
+        else:
+            family = resolve_family(self.family)
+            kwargs = dict(self.family_kwargs)
+            kwargs.update(family_params)
+            inst = family(self.n, seed=seed, **kwargs)
+        if value_x is not None:
+            inst = inst.with_values([j.value * value_x for j in inst.jobs])
+        if self.transform is not None:
+            inst = self.transform(inst, dict(params))
+        return inst
+
+    def requests(self) -> list[RunRequest]:
+        """Compile the spec to the flat batch-request list.
+
+        With ``skip_incapable=True``, (algorithm × cell) pairs the
+        algorithm's registry capabilities rule out (today: ``m > 1`` for
+        a single-processor algorithm) are dropped instead of raising —
+        the capability-aware analogue of the old hand-written
+        try/except loops.
+        """
+        from .registry import REGISTRY
+
+        seeds: Sequence[int | None] = (
+            [None] if self.base_instance is not None else list(self.seeds)
+        )
+        out: list[RunRequest] = []
+        for cell_index, params in enumerate(self.cells()):
+            for seed in seeds:
+                inst = self._build_instance(params, seed)
+                for algorithm in self.algorithms:
+                    if (
+                        self.skip_incapable
+                        and inst.m > 1
+                        and not REGISTRY.info(algorithm).multiprocessor
+                    ):
+                        continue
+                    tag = {
+                        "cell": cell_index,
+                        "params": dict(params),
+                        "seed": seed,
+                        "experiment": self.name,
+                    }
+                    out.append(RunRequest(algorithm, inst, tag=tag))
+        return out
+
+
+def run_experiment(
+    spec: ExperimentSpec, runner: BatchRunner | None = None
+) -> list[ExperimentCell]:
+    """Execute a spec and aggregate per-(cell, algorithm) statistics.
+
+    Cell order is the spec's deterministic grid order with one entry per
+    algorithm; each entry aggregates that cell's seed replicates.
+    """
+    runner = runner or BatchRunner()
+    requests = spec.requests()
+    records = runner.run(requests)
+
+    # Regroup seed replicates by (grid cell, algorithm) via the request
+    # tags — robust to cells dropped by skip_incapable.
+    groups: dict[tuple[int, str], list] = {}
+    for record in records:
+        groups.setdefault((record.tag["cell"], record.algorithm), []).append(record)
+
+    cells: list[ExperimentCell] = []
+    for cell_index, params in enumerate(spec.cells()):
+        for algorithm in spec.algorithms:
+            reps = groups.get((cell_index, algorithm))
+            if not reps:
+                continue
+            cells.append(
+                ExperimentCell(
+                    algorithm=algorithm,
+                    params=dict(params),
+                    mean_cost=sum(r.cost for r in reps) / len(reps),
+                    mean_energy=sum(r.energy for r in reps) / len(reps),
+                    mean_acceptance=sum(r.acceptance for r in reps) / len(reps),
+                    worst_certified_ratio=max(r.certified_ratio for r in reps),
+                    runs=len(reps),
+                    records=tuple(reps),
+                )
+            )
+    return cells

@@ -1,0 +1,231 @@
+"""Capability-aware algorithm registry — the engine's naming layer.
+
+Every scheduler in the library registers itself here (via the
+:func:`register_algorithm` decorator placed next to its implementation in
+:mod:`repro.core`, :mod:`repro.classical`, :mod:`repro.offline`, and
+:mod:`repro.profit`) together with *capability metadata*:
+
+* ``profit_aware`` — respects job values (may reject unprofitable jobs);
+* ``online`` — consumes jobs in arrival order with no future knowledge;
+* ``multiprocessor`` — accepts instances with ``m > 1``;
+* ``certificate`` — a hook producing a machine-checkable
+  :class:`~repro.analysis.certificates.DualCertificate` from the raw run
+  result (present iff the algorithm is certificate-producing).
+
+The metadata is what lets generic layers stay generic: the batch runner
+records a certified ratio for exactly the algorithms that can produce
+one, sweeps select comparators by capability instead of hard-coding
+names, and the CLI can explain what each name is.
+
+:mod:`repro.core.simulator` remains the stable public façade
+(``run_algorithm`` / ``available_algorithms``); it is now a thin shim
+over the global :data:`REGISTRY` defined here.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from ..errors import InvalidParameterError
+from ..model.job import Instance
+from ..model.schedule import Schedule
+
+__all__ = [
+    "AlgorithmInfo",
+    "AlgorithmRegistry",
+    "RunOutcome",
+    "REGISTRY",
+    "register_algorithm",
+]
+
+#: Modules whose import registers the built-in algorithms. Imported
+#: lazily on first lookup so that ``import repro.engine`` stays cheap and
+#: cycle-free (these modules themselves import this one for the
+#: decorator).
+_BUILTIN_MODULES = (
+    "repro.core.pd",
+    "repro.core.cll",
+    "repro.core.policies",
+    "repro.classical.yds",
+    "repro.classical.oa",
+    "repro.classical.avr",
+    "repro.classical.bkp",
+    "repro.classical.qoa",
+    "repro.offline.convex",
+    "repro.offline.optimal",
+    "repro.profit.augmented",
+)
+
+Runner = Callable[[Instance], tuple[Schedule, object]]
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """Normalized result of running any registered algorithm."""
+
+    name: str
+    schedule: Schedule
+    raw: object
+
+    @property
+    def cost(self) -> float:
+        return self.schedule.cost
+
+    @property
+    def energy(self) -> float:
+        return self.schedule.energy
+
+
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """One registered algorithm: its runner plus capability metadata.
+
+    ``runner`` maps an instance to ``(schedule, raw_result)`` — the same
+    normalized form the old simulator registry used. ``certificate``
+    (when present) maps the *raw* result to a dual certificate; its
+    presence defines the ``certificate-producing`` capability.
+    """
+
+    name: str
+    runner: Runner = field(repr=False)
+    profit_aware: bool = False
+    online: bool = True
+    multiprocessor: bool = False
+    certificate: Callable[[Any], Any] | None = field(default=None, repr=False)
+    summary: str = ""
+
+    @property
+    def produces_certificate(self) -> bool:
+        return self.certificate is not None
+
+    def capabilities(self) -> frozenset[str]:
+        """The capability tags, as a set of stable strings."""
+        tags = set()
+        if self.profit_aware:
+            tags.add("profit-aware")
+        tags.add("online" if self.online else "offline")
+        if self.multiprocessor:
+            tags.add("multiprocessor")
+        if self.produces_certificate:
+            tags.add("certificate-producing")
+        return frozenset(tags)
+
+
+class AlgorithmRegistry:
+    """String → :class:`AlgorithmInfo` mapping with capability queries."""
+
+    def __init__(self) -> None:
+        self._infos: dict[str, AlgorithmInfo] = {}
+        self._builtins_loaded = False
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        *,
+        profit_aware: bool = False,
+        online: bool = True,
+        multiprocessor: bool = False,
+        certificate: Callable[[Any], Any] | None = None,
+        summary: str = "",
+    ) -> Callable[[Runner], Runner]:
+        """Decorator registering ``fn`` as algorithm ``name``.
+
+        Re-registering a name overwrites it (idempotent module reloads,
+        and tests that want to stub an algorithm, both rely on this).
+        """
+
+        def decorator(fn: Runner) -> Runner:
+            self._infos[name] = AlgorithmInfo(
+                name=name,
+                runner=fn,
+                profit_aware=profit_aware,
+                online=online,
+                multiprocessor=multiprocessor,
+                certificate=certificate,
+                summary=summary,
+            )
+            return fn
+
+        return decorator
+
+    def _ensure_builtins(self) -> None:
+        if not self._builtins_loaded:
+            self._builtins_loaded = True
+            for module in _BUILTIN_MODULES:
+                importlib.import_module(module)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def names(self) -> tuple[str, ...]:
+        """Registered algorithm names, alphabetically."""
+        self._ensure_builtins()
+        return tuple(sorted(self._infos))
+
+    def info(self, name: str) -> AlgorithmInfo:
+        """Metadata for one algorithm; loud failure for unknown names."""
+        self._ensure_builtins()
+        try:
+            return self._infos[name]
+        except KeyError:
+            raise InvalidParameterError(
+                f"unknown algorithm {name!r}; available: {', '.join(self.names())}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        self._ensure_builtins()
+        return name in self._infos
+
+    def __iter__(self) -> Iterator[AlgorithmInfo]:
+        self._ensure_builtins()
+        return iter(self._infos[name] for name in self.names())
+
+    def select(
+        self,
+        *,
+        profit_aware: bool | None = None,
+        online: bool | None = None,
+        multiprocessor: bool | None = None,
+        produces_certificate: bool | None = None,
+    ) -> tuple[AlgorithmInfo, ...]:
+        """All algorithms matching the given capability constraints.
+
+        ``None`` means "don't care"; e.g. ``select(profit_aware=True,
+        multiprocessor=True)`` yields the algorithms eligible for a
+        multi-processor profit experiment.
+        """
+
+        def match(info: AlgorithmInfo) -> bool:
+            return (
+                (profit_aware is None or info.profit_aware == profit_aware)
+                and (online is None or info.online == online)
+                and (multiprocessor is None or info.multiprocessor == multiprocessor)
+                and (
+                    produces_certificate is None
+                    or info.produces_certificate == produces_certificate
+                )
+            )
+
+        return tuple(info for info in self if match(info))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, name: str, instance: Instance) -> RunOutcome:
+        """Run a registered algorithm by name (the simulator's contract)."""
+        info = self.info(name)
+        schedule, raw = info.runner(instance)
+        return RunOutcome(name=name, schedule=schedule, raw=raw)
+
+
+#: The process-global registry all library algorithms register into.
+REGISTRY = AlgorithmRegistry()
+
+#: Module-level alias of :meth:`AlgorithmRegistry.register` on the global
+#: registry — what algorithm modules import.
+register_algorithm = REGISTRY.register

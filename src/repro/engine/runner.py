@@ -1,0 +1,284 @@
+"""Parallel batch execution of (algorithm × instance) grids.
+
+The shape every experiment in this library shares — "run these
+algorithms on these instances and collect per-cell summaries" — lives
+here, once. A :class:`BatchRunner` takes a list of :class:`RunRequest`
+cells and returns one :class:`RunRecord` per cell, **in request order**
+regardless of completion order, evaluated either serially
+(``workers=1``) or on a ``ProcessPoolExecutor``.
+
+Records are plain JSON-able measurements (cost, energy, acceptance,
+certified ratio, the full serialized schedule), which buys two
+properties at once:
+
+* **parallel == serial**: worker processes ship back the exact payload a
+  serial run would produce, so results are bit-identical whatever the
+  worker count;
+* **cacheable**: the same payload is what the content-addressed
+  :class:`~repro.engine.cache.ResultCache` stores, so a cache hit is
+  indistinguishable from a fresh run (and a warm sweep recomputes
+  nothing — only changed cells miss).
+
+The certified ratio is filled for exactly the algorithms whose registry
+entry declares the ``certificate-producing`` capability; other cells
+carry ``NaN`` there, never a fake number.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from ..errors import InvalidParameterError
+from ..io.serialize import (
+    SCHEMA_VERSION,
+    instance_to_dict,
+    schedule_to_dict,
+    stable_hash,
+)
+from ..model.job import Instance
+from .cache import ResultCache
+from .registry import REGISTRY
+
+__all__ = [
+    "RunRequest",
+    "RunRecord",
+    "RunnerStats",
+    "BatchRunner",
+    "request_key",
+    "evaluate_request",
+]
+
+#: Bumped whenever the record payload changes shape, so stale cache
+#: entries from an older build miss instead of deserializing wrongly.
+RECORD_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One grid cell: an algorithm name, an instance, and caller context.
+
+    ``tag`` is an arbitrary JSON-able mapping the caller threads through
+    to the record (sweep parameters, seed, ...); it does not participate
+    in the cache key — only the algorithm and the instance content do.
+    """
+
+    algorithm: str
+    instance: Instance
+    tag: Mapping[str, Any] | None = None
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """The measurements of one evaluated cell.
+
+    ``schedule`` is the full :func:`~repro.io.serialize.schedule_to_dict`
+    form — everything needed to audit or replay the cell offline.
+    ``certified_ratio`` / ``dual_g`` are ``NaN`` unless the algorithm's
+    registry entry produces certificates. ``cached`` tells whether this
+    record was served without a fresh evaluation for this request —
+    from the on-disk result cache, or from an identical cell earlier in
+    the same batch.
+    """
+
+    algorithm: str
+    cost: float
+    energy: float
+    lost_value: float
+    acceptance: float
+    certified_ratio: float
+    dual_g: float
+    schedule: dict[str, Any] = field(repr=False)
+    key: str = ""
+    cached: bool = False
+    tag: Mapping[str, Any] | None = None
+
+    @property
+    def finished(self) -> tuple[bool, ...]:
+        """Per-job finished flags, in the schedule's job order."""
+        return tuple(bool(f) for f in self.schedule["finished"])
+
+
+def request_key(algorithm: str, instance: Instance) -> str:
+    """Content address of a cell: algorithm + full instance content."""
+    return stable_hash(
+        {
+            "kind": "run-request",
+            "schema": SCHEMA_VERSION,
+            "record": RECORD_VERSION,
+            "algorithm": algorithm,
+            "instance": instance_to_dict(instance),
+        }
+    )
+
+
+def evaluate_request(request: RunRequest) -> dict[str, Any]:
+    """Evaluate one cell and return its JSON-able payload.
+
+    Module-level (not a method) so worker processes can unpickle it by
+    name; called identically by the serial path, which is what makes
+    ``workers=1`` and ``workers=N`` byte-for-byte interchangeable.
+    """
+    info = REGISTRY.info(request.algorithm)
+    outcome = REGISTRY.run(request.algorithm, request.instance)
+    ratio = g = math.nan
+    if info.certificate is not None:
+        cert = info.certificate(outcome.raw)
+        ratio = float(cert.ratio)
+        g = float(cert.g)
+    schedule = outcome.schedule
+    return {
+        "kind": "run-record",
+        "schema": SCHEMA_VERSION,
+        "record": RECORD_VERSION,
+        "algorithm": request.algorithm,
+        "cost": float(schedule.cost),
+        "energy": float(schedule.energy),
+        "lost_value": float(schedule.lost_value),
+        "acceptance": float(schedule.finished.mean()) if len(schedule.finished) else 1.0,
+        "certified_ratio": ratio,
+        "dual_g": g,
+        "schedule": schedule_to_dict(schedule),
+    }
+
+
+def _record_from_payload(
+    payload: dict[str, Any], *, key: str, cached: bool, tag: Mapping[str, Any] | None
+) -> RunRecord:
+    return RunRecord(
+        algorithm=payload["algorithm"],
+        cost=float(payload["cost"]),
+        energy=float(payload["energy"]),
+        lost_value=float(payload["lost_value"]),
+        acceptance=float(payload["acceptance"]),
+        certified_ratio=float(payload["certified_ratio"]),
+        dual_g=float(payload["dual_g"]),
+        schedule=payload["schedule"],
+        key=key,
+        cached=cached,
+        tag=tag,
+    )
+
+
+@dataclass
+class RunnerStats:
+    """Cumulative work accounting of a :class:`BatchRunner`.
+
+    ``computed`` counts algorithm evaluations; ``cache_hits`` requests
+    served from the on-disk cache; ``deduplicated`` requests that
+    repeated another cell of the same batch and reused its result
+    (possible with or without a cache).
+    """
+
+    computed: int = 0
+    cache_hits: int = 0
+    deduplicated: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.computed + self.cache_hits + self.deduplicated
+
+
+class BatchRunner:
+    """Evaluates request grids, optionally in parallel and/or cached.
+
+    Parameters
+    ----------
+    workers:
+        ``1`` runs cells serially in-process (no pool, no pickling —
+        also the mode where monkeypatching registry runners works, which
+        tests rely on). ``> 1`` fans uncached cells out to that many
+        worker processes.
+    cache:
+        ``None`` (no caching), a directory path, or a ready
+        :class:`ResultCache`. Hits skip evaluation entirely.
+    """
+
+    def __init__(
+        self, *, workers: int = 1, cache: ResultCache | str | Path | None = None
+    ) -> None:
+        if not isinstance(workers, int) or workers < 1:
+            raise InvalidParameterError(
+                f"workers must be an int >= 1, got {workers!r}"
+            )
+        self.workers = workers
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self.stats = RunnerStats()
+
+    def reset_stats(self) -> None:
+        self.stats = RunnerStats()
+
+    # ------------------------------------------------------------------
+    def run_one(self, algorithm: str, instance: Instance) -> RunRecord:
+        """Convenience wrapper: evaluate a single cell."""
+        return self.run([RunRequest(algorithm, instance)])[0]
+
+    def run(self, requests: Sequence[RunRequest]) -> list[RunRecord]:
+        """Evaluate all cells; results are in request order.
+
+        Duplicate cells (same algorithm + instance content) are computed
+        once and fanned back out to every requesting position.
+        """
+        requests = list(requests)
+        keys = [request_key(r.algorithm, r.instance) for r in requests]
+
+        payloads: dict[str, dict[str, Any]] = {}
+        fresh: set[str] = set()
+        if self.cache is not None:
+            for key in keys:
+                if key not in payloads:
+                    hit = self.cache.get(key)
+                    if hit is not None:
+                        payloads[key] = hit
+
+        # Unique cells still to compute, in first-appearance order.
+        pending: list[tuple[str, RunRequest]] = []
+        seen: set[str] = set(payloads)
+        for key, request in zip(keys, requests):
+            if key not in seen:
+                seen.add(key)
+                pending.append((key, request))
+
+        if pending:
+            if self.workers == 1 or len(pending) == 1:
+                computed = [evaluate_request(r) for _, r in pending]
+            else:
+                with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                    computed = list(
+                        pool.map(evaluate_request, [r for _, r in pending])
+                    )
+            for (key, _), payload in zip(pending, computed):
+                payloads[key] = payload
+                fresh.add(key)
+                if self.cache is not None:
+                    self.cache.put(key, payload)
+
+        # Work accounting: one computation per distinct evaluated cell;
+        # every other request was served either from the on-disk cache
+        # or by repeating an in-batch duplicate.
+        self.stats.computed += len(pending)
+
+        records = []
+        delivered_fresh: set[str] = set()
+        for key, request in zip(keys, requests):
+            if key in fresh:
+                # Freshly evaluated this batch: the first occurrence is
+                # the computation, later ones are in-batch duplicates.
+                cached = key in delivered_fresh
+                if cached:
+                    self.stats.deduplicated += 1
+                delivered_fresh.add(key)
+            else:
+                cached = True
+                self.stats.cache_hits += 1
+            records.append(
+                _record_from_payload(
+                    payloads[key], key=key, cached=cached, tag=request.tag
+                )
+            )
+        return records

@@ -20,6 +20,11 @@ Subcommands
     optional resource augmentation.
 ``adversary``
     Hill-climb for hard instances and report the hardest certified ratio.
+``sweep``
+    Declarative parameter sweep on the experiment engine: an
+    (alpha × m × value-multiplier) grid over a workload family for any
+    set of registered algorithms, optionally parallel (``--workers``)
+    and cached (``--cache``).
 
 The CLI is a thin shell over the library: every subcommand body is a few
 calls into the public API, which keeps it honest as documentation.
@@ -28,6 +33,7 @@ calls into the public API, which keeps it honest as documentation.
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from typing import Callable, Sequence
 
@@ -46,42 +52,11 @@ from .serialize import (
 
 __all__ = ["main", "build_parser"]
 
-_GENERATORS: dict[str, Callable[..., Instance]] = {}
-
 
 def _generators() -> dict[str, Callable[..., Instance]]:
-    if not _GENERATORS:
-        from .. import workloads as w
+    from ..workloads import named_families
 
-        _GENERATORS.update(
-            {
-                "poisson": lambda n, m, alpha, seed: w.poisson_instance(
-                    n, m=m, alpha=alpha, seed=seed
-                ),
-                "heavy-tail": lambda n, m, alpha, seed: w.heavy_tail_instance(
-                    n, m=m, alpha=alpha, seed=seed
-                ),
-                "uniform": lambda n, m, alpha, seed: w.uniform_instance(
-                    n, m=m, alpha=alpha, seed=seed
-                ),
-                "diurnal": lambda n, m, alpha, seed: w.diurnal_instance(
-                    n, m=m, alpha=alpha, seed=seed
-                ),
-                "agreeable": lambda n, m, alpha, seed: w.agreeable_instance(
-                    n, m=m, alpha=alpha, seed=seed
-                ),
-                "batch": lambda n, m, alpha, seed: w.batch_instance(
-                    n, m=m, alpha=alpha, seed=seed
-                ),
-                "tight": lambda n, m, alpha, seed: w.tight_instance(
-                    n, m=m, alpha=alpha, seed=seed
-                ),
-                "lowerbound": lambda n, m, alpha, seed: w.lower_bound_instance(
-                    n, alpha
-                ),
-            }
-        )
-    return _GENERATORS
+    return named_families()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -154,6 +129,34 @@ def build_parser() -> argparse.ArgumentParser:
     adv.add_argument("--rounds", type=int, default=100)
     adv.add_argument("--seed", type=int, default=0)
     adv.add_argument("--save", help="write the hardest instance JSON here")
+
+    swp = sub.add_parser(
+        "sweep", help="parameter-grid sweep on the experiment engine"
+    )
+    swp.add_argument("family", choices=sorted(_generators()))
+    swp.add_argument(
+        "--algorithms",
+        default="pd",
+        help="comma-separated registry names (default: pd)",
+    )
+    swp.add_argument("--alphas", default="3.0", help="comma-separated alpha grid")
+    swp.add_argument("--ms", default="1", help="comma-separated processor counts")
+    swp.add_argument(
+        "--value-x",
+        default=None,
+        help="comma-separated value multipliers (extra grid axis)",
+    )
+    swp.add_argument("-n", type=int, default=20, help="jobs per instance")
+    swp.add_argument("--seeds", default="0,1,2", help="comma-separated seeds")
+    swp.add_argument(
+        "--workers", type=int, default=1, help="process-pool size (1 = serial)"
+    )
+    swp.add_argument(
+        "--cache", default=None, help="content-addressed result-cache directory"
+    )
+    swp.add_argument(
+        "--json", dest="json_out", default=None, help="also write cells as JSON"
+    )
     return parser
 
 
@@ -162,7 +165,9 @@ def _load_instance(path: str) -> Instance:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    inst = _generators()[args.family](args.n, args.m, args.alpha, args.seed)
+    inst = _generators()[args.family](
+        args.n, m=args.m, alpha=args.alpha, seed=args.seed
+    )
     save_json(instance_to_dict(inst), args.output)
     print(f"wrote {inst.n} jobs (m={inst.m}, alpha={inst.alpha}) to {args.output}")
     return 0
@@ -287,6 +292,76 @@ def _cmd_adversary(args: argparse.Namespace) -> int:
     return 0
 
 
+def _csv(text: str, cast: Callable):
+    return [cast(s.strip()) for s in text.split(",") if s.strip()]
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from ..analysis.sweeps import SweepCell, format_cells
+    from ..engine import BatchRunner, ExperimentSpec, run_experiment
+
+    grid: dict[str, list] = {
+        "alpha": _csv(args.alphas, float),
+        "m": _csv(args.ms, int),
+    }
+    if args.value_x:
+        grid["value_x"] = _csv(args.value_x, float)
+    spec = ExperimentSpec(
+        name=f"sweep:{args.family}",
+        family=args.family,
+        grid=grid,
+        algorithms=tuple(_csv(args.algorithms, str)),
+        n=args.n,
+        seeds=tuple(_csv(args.seeds, int)),
+        skip_incapable=True,
+    )
+    runner = BatchRunner(workers=args.workers, cache=args.cache)
+    cells = run_experiment(spec, runner)
+    table = [
+        SweepCell(
+            params={"algorithm": c.algorithm, **c.params},
+            mean_cost=c.mean_cost,
+            worst_certified_ratio=c.worst_certified_ratio,
+            mean_acceptance=c.mean_acceptance,
+            runs=c.runs,
+        )
+        for c in cells
+    ]
+    print(format_cells(table, title=spec.name))
+    stats = runner.stats
+    note = f", {stats.deduplicated} deduplicated" if stats.deduplicated else ""
+    print(
+        f"({stats.computed} cells computed, "
+        f"{stats.cache_hits} served from cache{note})"
+    )
+    if args.json_out:
+        payload = {
+            "schema": 1,
+            "kind": "sweep",
+            "experiment": spec.name,
+            "cells": [
+                {
+                    "algorithm": c.algorithm,
+                    "params": c.params,
+                    "mean_cost": c.mean_cost,
+                    "mean_energy": c.mean_energy,
+                    "mean_acceptance": c.mean_acceptance,
+                    # strict-JSON friendly: no NaN literals in the output
+                    "worst_certified_ratio": (
+                        None
+                        if math.isnan(c.worst_certified_ratio)
+                        else c.worst_certified_ratio
+                    ),
+                    "runs": c.runs,
+                }
+                for c in cells
+            ],
+        }
+        save_json(payload, args.json_out)
+        print(f"cells written to {args.json_out}")
+    return 0
+
+
 _DISPATCH = {
     "generate": _cmd_generate,
     "run": _cmd_run,
@@ -296,6 +371,7 @@ _DISPATCH = {
     "discrete": _cmd_discrete,
     "profit": _cmd_profit,
     "adversary": _cmd_adversary,
+    "sweep": _cmd_sweep,
 }
 
 

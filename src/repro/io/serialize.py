@@ -16,6 +16,7 @@ rather than guessing.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Any
@@ -35,6 +36,8 @@ __all__ = [
     "schedule_from_dict",
     "save_json",
     "load_json",
+    "canonical_json",
+    "stable_hash",
 ]
 
 SCHEMA_VERSION = 1
@@ -133,6 +136,30 @@ def schedule_from_dict(payload: dict[str, Any]) -> Schedule:
             "the payload was produced by an incompatible build or corrupted"
         )
     return schedule
+
+
+# ----------------------------------------------------------------------
+# Stable hashing (content addresses for the engine's result cache)
+# ----------------------------------------------------------------------
+def canonical_json(payload: dict[str, Any]) -> str:
+    """A canonical text form of a payload: sorted keys, no whitespace.
+
+    Floats serialize via ``repr`` (shortest round-tripping form), so two
+    payloads hash equal iff they deserialize to bit-identical values.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def stable_hash(payload: dict[str, Any]) -> str:
+    """Content address of a JSON payload: sha256 of its canonical form.
+
+    This is the engine's cache-key primitive: an (algorithm × instance)
+    cell is keyed by the stable hash of the instance's
+    :func:`instance_to_dict` form plus the algorithm name, so any change
+    to a job, the machine environment, or the schema version changes the
+    key, while re-ordering dict keys or re-serializing does not.
+    """
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
 
 # ----------------------------------------------------------------------

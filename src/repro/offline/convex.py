@@ -208,3 +208,20 @@ def kkt_residual(
         lo = float(row_marg.min())
         worst = max(worst, max(0.0, hi - lo) / max(1.0, hi))
     return worst
+
+
+# ----------------------------------------------------------------------
+# Engine registration
+# ----------------------------------------------------------------------
+from ..engine.registry import register_algorithm  # noqa: E402
+
+
+@register_algorithm(
+    "offline-cp",
+    online=False,
+    multiprocessor=True,
+    summary="offline convex program: min energy finishing every job",
+)
+def _run_offline_cp_registered(instance):
+    solution = solve_min_energy(instance)
+    return solution.schedule, solution

@@ -128,3 +128,21 @@ def __grid(instance: Instance):
     from ..model.intervals import grid_for_instance
 
     return grid_for_instance(instance)
+
+
+# ----------------------------------------------------------------------
+# Engine registration
+# ----------------------------------------------------------------------
+from ..engine.registry import register_algorithm  # noqa: E402
+
+
+@register_algorithm(
+    "exact",
+    profit_aware=True,
+    online=False,
+    multiprocessor=True,
+    summary="exact offline optimum over acceptance sets (enumeration + CP)",
+)
+def _run_exact_registered(instance):
+    solution = solve_exact(instance)
+    return solution.schedule, solution

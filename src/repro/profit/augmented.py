@@ -115,3 +115,34 @@ def run_pd_augmented(
     return AugmentedProfitResult(
         instance=instance.sorted_by_release(), epsilon=epsilon, inner=inner
     )
+
+
+# ----------------------------------------------------------------------
+# Engine registration
+# ----------------------------------------------------------------------
+from ..engine.registry import register_algorithm  # noqa: E402
+
+#: Augmentation used by the registered ``pd-aug`` variant. A fixed,
+#: documented knob (rather than a parameter) keeps registry entries
+#: nullary; callers who want to sweep epsilon use
+#: :func:`run_pd_augmented` or :func:`repro.analysis.sweeps.augmentation_curve`.
+REGISTERED_EPSILON = 0.1
+
+
+def _pd_aug_certificate(result: AugmentedProfitResult):
+    from ..analysis.certificates import dual_certificate
+
+    return dual_certificate(result.inner)
+
+
+@register_algorithm(
+    "pd-aug",
+    profit_aware=True,
+    online=True,
+    multiprocessor=True,
+    certificate=_pd_aug_certificate,
+    summary=f"PD with (1 + {REGISTERED_EPSILON}) speed augmentation (Pruhs-Stein)",
+)
+def _run_pd_aug_registered(instance):
+    result = run_pd_augmented(instance, REGISTERED_EPSILON)
+    return result.inner.schedule, result

@@ -1,4 +1,12 @@
-"""Workload generators: adversarial, random, and trace-like families."""
+"""Workload generators: adversarial, random, and trace-like families.
+
+:func:`named_families` is the string registry the CLI (``generate`` /
+``sweep``) and the engine's declarative experiments resolve family names
+against; every entry has the uniform keyword signature
+``family(n, *, m=1, alpha=3.0, seed=0)``.
+"""
+
+from typing import Callable
 
 from .datacenter import diurnal_instance, diurnal_intensity
 from .lowerbound import (
@@ -19,7 +27,40 @@ from .structured import (
     tight_instance,
 )
 
+def _lower_bound_family(n, *, m=1, alpha=3.0, seed=0):
+    """Adapter: the adversarial family is deterministic and single-proc,
+    so ``m`` and ``seed`` are accepted (for the uniform signature) and
+    ignored — exactly the CLI's historical behaviour."""
+    return lower_bound_instance(n, alpha)
+
+
+def _laminar_family(n, *, m=1, alpha=3.0, seed=0):
+    """Adapter: :func:`laminar_instance` is parameterized by tree depth,
+    not job count — map ``n`` to the binary-tree depth whose node count
+    (``2**depth - 1``) comes closest from below, so the registry's
+    uniform contract "about n jobs" holds."""
+    depth = max(1, (n + 1).bit_length() - 1)
+    return laminar_instance(depth, m=m, alpha=alpha, seed=seed)
+
+
+def named_families() -> dict[str, Callable]:
+    """Name → generator, all with signature ``(n, *, m, alpha, seed)``."""
+    return {
+        "poisson": poisson_instance,
+        "heavy-tail": heavy_tail_instance,
+        "uniform": uniform_instance,
+        "diurnal": diurnal_instance,
+        "agreeable": agreeable_instance,
+        "laminar": _laminar_family,
+        "batch": batch_instance,
+        "tight": tight_instance,
+        "bursty": bursty_instance,
+        "lowerbound": _lower_bound_family,
+    }
+
+
 __all__ = [
+    "named_families",
     "lower_bound_instance",
     "pd_cost_closed_form",
     "optimal_cost_closed_form",
