@@ -19,11 +19,11 @@ from __future__ import annotations
 import pytest
 
 from repro import dual_certificate, run_pd, solve_exact
+from repro.engine import ExperimentSpec, run_experiment
 from repro.profit import (
     optimal_profit,
     pd_energy_closed_form,
     profit_of_result,
-    run_pd_augmented,
     vanishing_margin_instance,
 )
 
@@ -50,14 +50,43 @@ def dichotomy_sweep():
     return rows
 
 
+def _margin_family(n, *, m=1, alpha=ALPHA, seed=0, margin=0.5):
+    """Engine-shaped wrapper: the family is deterministic, so ``n``/
+    ``seed`` are accepted (the spec passes them) and ignored."""
+    return vanishing_margin_instance(margin, alpha)
+
+
 def augmentation_sweep():
+    """The (margin × epsilon) grid as a declarative spec.
+
+    ``margin`` is a *grid* axis (it shapes the instance); ``epsilon`` is
+    a *variants* axis (it parameterizes the algorithm), expanding
+    ``pd-aug`` to ``pd-aug?epsilon=...`` variant specs with distinct
+    cache keys. Profit is recovered from each record by the exact
+    complementarity ``profit = total_value - lost_value - energy``.
+    """
+    spec = ExperimentSpec(
+        name="e12_augmentation",
+        family=_margin_family,
+        grid={"margin": MARGINS},
+        algorithms=("pd-aug",),
+        variants={"epsilon": EPSILONS},
+        n=1,
+        seeds=(0,),
+    )
+    cells = run_experiment(spec)
+    by_margin: dict[float, list] = {}
+    for cell in cells:
+        by_margin.setdefault(cell.params["margin"], []).append(cell)
     rows = []
     for margin in MARGINS:
         inst = vanishing_margin_instance(margin, ALPHA)
         opt = optimal_profit(inst)
         ratios = []
-        for eps in EPSILONS:
-            profit = run_pd_augmented(inst, eps).profit.profit
+        for eps, cell in zip(EPSILONS, by_margin[margin]):
+            assert cell.params["epsilon"] == eps  # spec order is grid order
+            (record,) = cell.records
+            profit = inst.total_value - record.lost_value - record.energy
             ratios.append(opt / profit if profit > 0 else float("inf"))
         rows.append((margin, *ratios))
     return rows

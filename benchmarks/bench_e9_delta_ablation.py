@@ -9,15 +9,24 @@ ablation sweeps delta around the optimum and reports
   larger deltas void Lemma 11's hypothesis and can break it), and
 * the realized cost, showing the optimum delta is a sound default: costs
   degrade in both directions away from a broad sweet spot.
+
+The sweep runs on the experiment engine through *variant specs*: each
+delta setting is addressed as ``pd?delta=...`` — a first-class registry
+entry with PD's certificate hook and its own cache key — instead of a
+hand-rolled ``run_pd(inst, delta=...)`` loop. The lemma-by-lemma audit
+still inspects the raw :class:`PDResult` (the engine's records carry
+measurements, not raw results), and doubles as a parity check: the
+certified ratio the engine records for ``pd?delta=...`` must equal the
+one computed from the direct run.
 """
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro import dual_certificate, run_pd
 from repro.analysis import lemma_bounds
+from repro.engine import BatchRunner, RunRequest
 from repro.workloads import (
     heavy_tail_instance,
     lower_bound_instance,
@@ -31,23 +40,33 @@ DELTA_STAR = ALPHA ** (1.0 - ALPHA)
 MULTIPLIERS = [0.25, 0.5, 1.0, 2.0, 4.0]
 
 
-def delta_sweep():
-    instances = (
+def _instances():
+    return (
         [poisson_instance(15, m=1, alpha=ALPHA, seed=s) for s in range(3)]
         + [heavy_tail_instance(12, m=2, alpha=ALPHA, seed=s) for s in range(2)]
         + [lower_bound_instance(10, ALPHA)]
     )
+
+
+def delta_sweep():
+    instances = _instances()
+    runner = BatchRunner()
     out = []
     for mult in MULTIPLIERS:
         delta = mult * DELTA_STAR
-        worst_ratio = 0.0
-        total_cost = 0.0
+        records = runner.run(
+            [RunRequest(f"pd?delta={delta!r}", inst) for inst in instances]
+        )
+        worst_ratio = max(r.certified_ratio for r in records)
+        total_cost = sum(r.cost for r in records)
         lemma11_ok = True
-        for inst in instances:
+        for inst, record in zip(instances, records):
             result = run_pd(inst, delta=delta)
             cert = dual_certificate(result)
-            worst_ratio = max(worst_ratio, cert.ratio)
-            total_cost += cert.cost
+            # Engine parity: the variant's certificate hook must report
+            # exactly the direct run's numbers.
+            assert record.certified_ratio == float(cert.ratio)
+            assert record.cost == result.schedule.cost
             if lemma_bounds(result, cert).violations():
                 lemma11_ok = False
         out.append((mult, delta, worst_ratio, total_cost, lemma11_ok))
@@ -97,10 +116,13 @@ def test_e9_delta_star_minimizes_worst_ratio_on_adversarial(benchmark):
 
     def run():
         inst = lower_bound_instance(20, ALPHA).with_machine(m=1)
-        return {
-            mult: run_pd(inst, delta=mult * DELTA_STAR).cost
-            for mult in [0.1, 1.0, 10.0]
-        }
+        records = BatchRunner().run(
+            [
+                RunRequest(f"pd?delta={mult * DELTA_STAR!r}", inst)
+                for mult in [0.1, 1.0, 10.0]
+            ]
+        )
+        return dict(zip([0.1, 1.0, 10.0], (r.cost for r in records)))
 
     costs = benchmark.pedantic(run, rounds=1, iterations=1)
     # For must-finish jobs delta does not change the schedule (all jobs

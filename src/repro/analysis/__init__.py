@@ -36,6 +36,7 @@ from .sweeps import (
     SweepCell,
     acceptance_curve,
     augmentation_curve,
+    delta_ablation_curve,
     format_cells,
     menu_granularity_curve,
     processor_scaling_curve,
@@ -72,6 +73,7 @@ __all__ = [
     "ratio_sweep",
     "menu_granularity_curve",
     "augmentation_curve",
+    "delta_ablation_curve",
     "acceptance_curve",
     "processor_scaling_curve",
     "SweepCell",

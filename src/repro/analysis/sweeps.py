@@ -9,12 +9,15 @@ instead of copying harness code.
 The grid functions here are thin declarative wrappers over the engine
 (:class:`repro.engine.ExperimentSpec` compiled and executed by a
 :class:`repro.engine.BatchRunner`): every sweep accepts an optional
-``runner=`` to run its cells on a process pool and/or against the
-content-addressed result cache. The default (no runner) evaluates
-serially in-process — same results, bit for bit. Certified ratios are
-filled for exactly the algorithms whose registry entry declares the
+``runner=`` to run its cells on a process pool and/or against a
+content-addressed result cache (directory or sqlite backend — the
+runner doesn't care). The default (no runner) evaluates serially
+in-process — same results, bit for bit. Certified ratios are filled for
+exactly the algorithms whose registry entry declares the
 ``certificate-producing`` capability (``pd``, ``pd-aug``, ``cll``, ...);
-other algorithms report ``NaN`` rather than a fake number.
+other algorithms report ``NaN`` rather than a fake number. Algorithm
+knobs sweep as *variant axes* (``pd?delta=...`` registry variants under
+the hood), so every knob setting carries its own cache key.
 """
 
 from __future__ import annotations
@@ -33,6 +36,7 @@ __all__ = [
     "ratio_sweep",
     "acceptance_curve",
     "processor_scaling_curve",
+    "delta_ablation_curve",
     "menu_granularity_curve",
     "augmentation_curve",
     "format_cells",
@@ -156,6 +160,43 @@ def processor_scaling_curve(
     ]
 
 
+def delta_ablation_curve(
+    family: Callable[..., Instance],
+    *,
+    deltas: Sequence[float],
+    n: int = 20,
+    m: int = 1,
+    alpha: float = 3.0,
+    seeds: Iterable[int] = range(3),
+    runner: BatchRunner | None = None,
+    **family_kwargs,
+) -> list[SweepCell]:
+    """E9 as a library call: PD's certificate across a delta grid.
+
+    Each delta setting runs as the ``pd?delta=...`` registry variant —
+    a first-class entry with PD's certificate hook and its own cache
+    key, so re-running with one new delta recomputes only that column.
+    The paper's optimum is ``delta* = alpha**(1 - alpha)``; ratios
+    degrade away from it in both directions.
+    """
+    deltas = [float(d) for d in deltas]  # materialize: generators welcome
+    if not deltas:
+        raise InvalidParameterError("need at least one delta")
+    spec = ExperimentSpec(
+        name="delta_ablation_curve",
+        family=family,
+        algorithms=("pd",),
+        variants={"delta": deltas},
+        n=n,
+        seeds=tuple(seeds),
+        family_kwargs={"m": m, "alpha": alpha, **family_kwargs},
+    )
+    return [
+        _to_sweep_cell(cell, dict(cell.params))
+        for cell in run_experiment(spec, runner)
+    ]
+
+
 def format_cells(cells: Sequence[SweepCell], title: str = "") -> str:
     """Render cells as a plain-text table."""
     lines = [title] if title else []
@@ -209,19 +250,31 @@ def augmentation_curve(
     instance: Instance,
     *,
     epsilons: Sequence[float],
+    runner: BatchRunner | None = None,
 ) -> list[tuple[float, float, float]]:
     """E12 as a library call: profit under growing speed augmentation.
 
     Returns ``(epsilon, profit, energy)`` rows for the given instance.
     Profit is non-decreasing in epsilon whenever the acceptance set
     stabilizes (more speed never hurts a fixed acceptance set).
-    """
-    from ..profit import run_pd_augmented
 
+    Each epsilon runs as the ``pd-aug?epsilon=...`` registry variant;
+    profit is recovered from the records by the exact complementarity
+    ``profit = total_value - lost_value - energy``.
+    """
+    epsilons = [float(e) for e in epsilons]  # materialize: generators welcome
     if not epsilons:
         raise InvalidParameterError("need at least one epsilon")
+    spec = ExperimentSpec(
+        name="augmentation_curve",
+        base_instance=instance,
+        algorithms=("pd-aug",),
+        variants={"epsilon": epsilons},
+    )
+    total = float(instance.total_value)
     rows: list[tuple[float, float, float]] = []
-    for eps in epsilons:
-        out = run_pd_augmented(instance, float(eps))
-        rows.append((float(eps), out.profit.profit, out.energy))
+    for cell in run_experiment(spec, runner):
+        (record,) = cell.records
+        profit = total - record.lost_value - record.energy
+        rows.append((cell.params["epsilon"], profit, record.energy))
     return rows

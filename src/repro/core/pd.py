@@ -309,7 +309,10 @@ def _pd_certificate(result: PDResult):
     multiprocessor=True,
     certificate=_pd_certificate,
     summary="the paper's primal-dual algorithm (alpha^alpha-competitive, any m)",
+    variant_params={"delta": float},
 )
-def _run_pd_registered(instance: Instance) -> tuple[Schedule, object]:
-    result = run_pd(instance)
+def _run_pd_registered(
+    instance: Instance, *, delta: float | None = None
+) -> tuple[Schedule, object]:
+    result = run_pd(instance, delta=delta)
     return result.schedule, result

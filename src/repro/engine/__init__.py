@@ -15,10 +15,17 @@ See ``docs/architecture.md`` for the layering contract and the cache
 key scheme.
 """
 
-from .cache import ResultCache
+from .cache import (
+    CacheBackend,
+    DirectoryCache,
+    ResultCache,
+    SqliteCache,
+    open_cache,
+)
 from .experiment import (
     ExperimentCell,
     ExperimentSpec,
+    aggregate_records,
     resolve_family,
     run_experiment,
 )
@@ -27,6 +34,8 @@ from .registry import (
     AlgorithmInfo,
     AlgorithmRegistry,
     RunOutcome,
+    canonical_variant_name,
+    parse_variant_name,
     register_algorithm,
 )
 from .runner import (
@@ -35,7 +44,11 @@ from .runner import (
     RunRecord,
     RunRequest,
     evaluate_request,
+    merge_shards,
+    record_from_payload,
+    record_to_payload,
     request_key,
+    shard_requests,
 )
 
 __all__ = [
@@ -44,15 +57,26 @@ __all__ = [
     "AlgorithmRegistry",
     "RunOutcome",
     "register_algorithm",
+    "parse_variant_name",
+    "canonical_variant_name",
+    "CacheBackend",
+    "DirectoryCache",
     "ResultCache",
+    "SqliteCache",
+    "open_cache",
     "BatchRunner",
     "RunnerStats",
     "RunRecord",
     "RunRequest",
     "request_key",
     "evaluate_request",
+    "shard_requests",
+    "merge_shards",
+    "record_to_payload",
+    "record_from_payload",
     "ExperimentSpec",
     "ExperimentCell",
     "run_experiment",
+    "aggregate_records",
     "resolve_family",
 ]

@@ -1,36 +1,108 @@
-"""Content-addressed on-disk cache for batch-runner results.
+"""Pluggable content-addressed caches for batch-runner results.
 
-Each cache entry is one JSON file named ``<sha256>.json`` under the cache
-directory, where the hash is the :func:`repro.io.serialize.stable_hash`
-of the *request* (algorithm name + the instance's serialized form + the
+Every backend stores immutable JSON payloads under string keys (the
+:func:`repro.io.serialize.stable_hash` of the *request*: algorithm name
++ parsed variant parameters + the instance's serialized form + the
 record schema version). Re-running a sweep with one changed cell
 therefore recomputes exactly that cell: every other request hashes to an
-existing file.
+existing entry.
 
-The cache is deliberately dumb — no index, no eviction, no locking
-beyond atomic-rename writes. Entries are immutable once written (content
-addressing makes overwrites idempotent), so concurrent readers and
-writers cannot corrupt each other, and ``rm -r`` of the directory is
-always a safe reset.
+Two backends ship with the library, behind the common
+:class:`CacheBackend` protocol:
+
+* :class:`DirectoryCache` — one ``<sha256>.json`` file per entry under a
+  directory. No index, no eviction, no locking beyond atomic-rename
+  writes; ``rm -r`` of the directory is always a safe reset. This is
+  the historical backend (``ResultCache`` remains its alias).
+* :class:`SqliteCache` — a single-file SQLite database in WAL mode,
+  friendlier to filesystems that hate directories with tens of
+  thousands of small files, and safe under concurrent writers (content
+  addressing makes every write idempotent, so writers can only race to
+  store the same bytes).
+
+Backends are interchangeable by construction: the parity tests assert
+bit-identical records whichever one a :class:`~repro.engine.runner.
+BatchRunner` is given.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import sqlite3
 import tempfile
+import time
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterator, Protocol, runtime_checkable
 
-__all__ = ["ResultCache"]
+from ..errors import InvalidParameterError
+
+__all__ = [
+    "CacheBackend",
+    "DirectoryCache",
+    "ResultCache",
+    "SqliteCache",
+    "open_cache",
+]
+
+#: Prefix of in-flight temp files a :class:`DirectoryCache` writes before
+#: the atomic rename. Key-addressed entries are hex digests, so nothing
+#: legitimate ever starts with this.
+_TMP_PREFIX = ".tmp-"
+
+#: Minimum age (seconds) before an on-disk temp file is considered
+#: orphaned. Live writers hold their temp file for milliseconds; a
+#: generous threshold keeps the init-time sweep from racing them.
+_TMP_STALE_SECONDS = 3600.0
 
 
-class ResultCache:
-    """A directory of content-addressed JSON payloads."""
+@runtime_checkable
+class CacheBackend(Protocol):
+    """What the batch runner needs from a result cache.
+
+    Entries are immutable: ``put`` under an existing key must be a no-op
+    or an idempotent overwrite with equal content (keys are content
+    addresses, so both are indistinguishable). ``get`` of a missing or
+    unreadable entry returns ``None`` — a miss, never an error.
+    """
+
+    def get(self, key: str) -> dict[str, Any] | None: ...
+
+    def put(self, key: str, payload: dict[str, Any]) -> None: ...
+
+    def keys(self) -> Iterator[str]: ...
+
+    def __contains__(self, key: str) -> bool: ...
+
+    def __len__(self) -> int: ...
+
+
+class DirectoryCache:
+    """A directory of content-addressed JSON payloads (one file each)."""
 
     def __init__(self, directory: str | Path) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self) -> None:
+        """Remove temp files orphaned by a killed writer.
+
+        An interrupted ``put`` (process killed between ``mkstemp`` and
+        ``os.replace``) leaks a ``.tmp-*`` file that nothing would ever
+        clean up. Only files older than :data:`_TMP_STALE_SECONDS` are
+        swept — a live writer holds its temp file for milliseconds, so
+        the age gate keeps concurrent cache users (shards sharing one
+        directory) from deleting each other's in-flight writes; should
+        that ever happen anyway, ``put`` retries the write.
+        """
+        cutoff = time.time() - _TMP_STALE_SECONDS
+        for stale in self.directory.glob(f"{_TMP_PREFIX}*"):
+            try:
+                if stale.stat().st_mtime < cutoff:
+                    stale.unlink()
+            except OSError:
+                pass
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
@@ -51,24 +123,150 @@ class ResultCache:
             return None
 
     def put(self, key: str, payload: dict[str, Any]) -> None:
-        """Store ``payload`` under ``key`` (atomic write-then-rename)."""
+        """Store ``payload`` under ``key`` (atomic write-then-rename).
+
+        If the temp file vanishes before the rename (another process's
+        over-eager cleanup), the write is retried — content addressing
+        makes the whole operation idempotent, so retrying is always
+        correct.
+        """
         path = self._path(key)
-        fd, tmp = tempfile.mkstemp(
-            dir=self.directory, prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(payload, fh)
-            os.replace(tmp, path)
-        except BaseException:
+        for attempt in range(3):
+            fd, tmp = tempfile.mkstemp(
+                dir=self.directory, prefix=_TMP_PREFIX, suffix=".json"
+            )
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(payload, fh)
+                os.replace(tmp, path)
+                return
+            except FileNotFoundError:
+                if attempt == 2:
+                    raise
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+
+    def keys(self) -> Iterator[str]:
+        """The stored keys (entry files only, never in-flight temp files).
+
+        ``Path.glob`` matches dotfiles, so ``*.json`` alone would also
+        yield ``.tmp-*.json`` files from writers we are racing with —
+        those are not entries yet and must not be counted or listed.
+        """
+        for path in self.directory.glob("*.json"):
+            if not path.name.startswith(_TMP_PREFIX):
+                yield path.stem
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.directory.glob("*.json"))
+        return sum(1 for _ in self.keys())
+
+
+#: Backward-compatible name for the historical JSON-directory backend.
+ResultCache = DirectoryCache
+
+
+class SqliteCache:
+    """A single-file SQLite backend (WAL mode, concurrent-writer safe).
+
+    One table, ``entries(key TEXT PRIMARY KEY, payload TEXT)``. Writes
+    use ``INSERT OR REPLACE`` inside an implicit transaction; WAL mode
+    plus a generous busy timeout lets several runner processes share the
+    file, and content addressing means the worst a race can do is store
+    the same bytes twice.
+    """
+
+    def __init__(self, path: str | Path, *, timeout: float = 30.0) -> None:
+        self.path = Path(path)
+        if self.path.parent:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._timeout = timeout
+        self._conn: sqlite3.Connection | None = None
+        self._pid = -1
+        self._connect()  # fail loudly now if the path is unusable
+
+    def _connect(self) -> sqlite3.Connection:
+        # Reopen after fork: SQLite connections must not cross processes
+        # (worker pools fork the parent mid-life).
+        if self._conn is None or self._pid != os.getpid():
+            conn = sqlite3.connect(self.path, timeout=self._timeout)
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS entries ("
+                "key TEXT PRIMARY KEY, payload TEXT NOT NULL)"
+            )
+            conn.commit()
+            self._conn = conn
+            self._pid = os.getpid()
+        return self._conn
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        row = self._connect().execute(
+            "SELECT payload FROM entries WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            return None
+        try:
+            return json.loads(row[0])
+        except json.JSONDecodeError:
+            return None  # corrupt entry reads as a miss, like the dir backend
+
+    def put(self, key: str, payload: dict[str, Any]) -> None:
+        conn = self._connect()
+        with conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO entries (key, payload) VALUES (?, ?)",
+                (key, json.dumps(payload)),
+            )
+
+    def keys(self) -> Iterator[str]:
+        for (key,) in self._connect().execute(
+            "SELECT key FROM entries ORDER BY key"
+        ):
+            yield key
+
+    def __contains__(self, key: str) -> bool:
+        return (
+            self._connect()
+            .execute("SELECT 1 FROM entries WHERE key = ?", (key,))
+            .fetchone()
+            is not None
+        )
+
+    def __len__(self) -> int:
+        return int(
+            self._connect().execute("SELECT COUNT(*) FROM entries").fetchone()[0]
+        )
+
+    def close(self) -> None:
+        """Close the connection (safe to call twice; reopens on demand)."""
+        if self._conn is not None and self._pid == os.getpid():
+            self._conn.close()
+        self._conn = None
+
+
+#: Constructors by CLI/backend name; the single source of truth for
+#: ``--cache-backend`` choices.
+BACKENDS = {
+    "dir": DirectoryCache,
+    "sqlite": SqliteCache,
+}
+
+
+def open_cache(path: str | Path, backend: str = "dir") -> CacheBackend:
+    """Construct a cache backend by name (``dir`` or ``sqlite``)."""
+    try:
+        factory = BACKENDS[backend]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown cache backend {backend!r}; "
+            f"available: {', '.join(sorted(BACKENDS))}"
+        ) from None
+    return factory(path)

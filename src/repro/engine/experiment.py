@@ -24,17 +24,60 @@ ratio) — the same statistics the sweeps module always reported.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from itertools import product
 from typing import Any, Callable, Mapping, Sequence
 
 from ..errors import InvalidParameterError
 from ..model.job import Instance
+from .registry import canonical_variant_name, parse_variant_name
 from .runner import BatchRunner, RunRecord, RunRequest
 
-__all__ = ["ExperimentSpec", "ExperimentCell", "run_experiment", "resolve_family"]
+__all__ = [
+    "ExperimentSpec",
+    "ExperimentCell",
+    "run_experiment",
+    "aggregate_records",
+    "resolve_family",
+]
 
 FamilyFn = Callable[..., Instance]
+
+#: Grid/variant axis names that would collide with the keywords
+#: :meth:`ExperimentSpec.requests` itself passes to the family call
+#: (``family(n, seed=..., **params)``). Rejected up front with a clear
+#: error instead of dying with an opaque ``TypeError`` deep in the
+#: request compiler; replication knobs have dedicated spec fields.
+RESERVED_AXIS_NAMES = frozenset({"n", "seed"})
+
+
+def _grid_cells(axes: Sequence[tuple[str, Sequence[Any]]]) -> list[dict[str, Any]]:
+    """Cross product of named axes, first axis varying slowest."""
+    if not axes:
+        return [{}]
+    names = [name for name, _ in axes]
+    return [
+        dict(zip(names, combo))
+        for combo in product(*(values for _, values in axes))
+    ]
+
+
+def _worst_ratio(values: Sequence[float]) -> float:
+    """NaN-aware worst (largest) certified ratio over replicates.
+
+    ``max()`` silently keeps or drops a ``NaN`` depending on where it
+    sits in the argument order; here any ``NaN`` replicate poisons the
+    aggregate instead, so one uncertified run can neither hide behind
+    nor fake the worst certified ratio.
+    """
+    out = -math.inf
+    for value in values:
+        value = float(value)
+        if math.isnan(value):
+            return math.nan
+        out = max(out, value)
+    return out
 
 
 def resolve_family(family: str | FamilyFn) -> FamilyFn:
@@ -83,7 +126,16 @@ class ExperimentSpec:
         Ordered mapping axis-name → values; the cross product defines
         the cells. May be empty (a single cell).
     algorithms:
-        Registry names to evaluate on every cell.
+        Registry names to evaluate on every cell; variant specs
+        (``pd?delta=0.05``) are accepted verbatim.
+    variants:
+        Ordered mapping of algorithm-parameter axes (e.g.
+        ``{"delta": [0.01, 0.05]}``); the cross product is applied to
+        *every* name in ``algorithms`` as a variant spec, turning
+        delta/epsilon ablations into declarative grids. Distinct from
+        ``grid``: grid axes parameterize the *instances*, variant axes
+        parameterize the *algorithms* (and are folded into each cell's
+        cache key through the variant name).
     family:
         Workload generator — a callable ``(n, *, m, alpha, seed,
         **kwargs)`` or a :func:`repro.workloads.named_families` name.
@@ -101,6 +153,7 @@ class ExperimentSpec:
     name: str
     grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
     algorithms: Sequence[str] = ("pd",)
+    variants: Mapping[str, Sequence[Any]] = field(default_factory=dict)
     family: str | FamilyFn | None = None
     base_instance: Instance | None = None
     n: int = 20
@@ -118,18 +171,79 @@ class ExperimentSpec:
             raise InvalidParameterError("need at least one algorithm")
         if self.family is not None and not list(self.seeds):
             raise InvalidParameterError("need at least one seed")
+        for axis in ("grid", "variants"):
+            mapping = getattr(self, axis)
+            reserved = RESERVED_AXIS_NAMES.intersection(mapping)
+            if reserved:
+                raise InvalidParameterError(
+                    f"reserved {axis} axis name(s) {sorted(reserved)}: "
+                    "'n' and 'seed' are spec fields (n=, seeds=), not "
+                    "sweepable axes — the family call would receive them "
+                    "twice"
+                )
+            empty = [key for key, values in mapping.items() if not list(values)]
+            if empty:
+                raise InvalidParameterError(
+                    f"{axis} axis name(s) {sorted(empty)} have no values — "
+                    "an empty axis would silently produce an empty sweep"
+                )
+        collisions = set(self.grid).intersection(self.variants)
+        if collisions:
+            raise InvalidParameterError(
+                f"axis name(s) {sorted(collisions)} appear in both grid= "
+                "(instance parameters) and variants= (algorithm "
+                "parameters); rename one so cell summaries stay unambiguous"
+            )
 
     # ------------------------------------------------------------------
     def cells(self) -> list[dict[str, Any]]:
         """The parameter dicts of every grid cell, in deterministic order."""
-        axes = list(self.grid.items())
-        if not axes:
-            return [{}]
-        names = [name for name, _ in axes]
-        return [
-            dict(zip(names, combo))
-            for combo in product(*(values for _, values in axes))
-        ]
+        return _grid_cells(list(self.grid.items()))
+
+    def variant_cells(self) -> list[dict[str, Any]]:
+        """The algorithm-parameter dicts of the ``variants`` axes."""
+        return _grid_cells(list(self.variants.items()))
+
+    def algorithm_names(self) -> list[str]:
+        """Effective algorithm list: every name × every variant cell.
+
+        Every entry is resolved through the registry to its *canonical*
+        variant name, so inline specs (``pd?delta=5e-2``) and axis-built
+        ones label records — and group into cells — identically. Two
+        spellings of the same effective algorithm are an error (they
+        would silently merge into one cell with doubled replicates).
+        Names already carrying a variant spec are merged with the axis
+        parameters; a clash between the two is an error too (the axis
+        would silently shadow the inline value otherwise).
+        """
+        from .registry import REGISTRY
+
+        combos = self.variant_cells()
+        out: list[str] = []
+        seen: set[str] = set()
+        for name in self.algorithms:
+            base, raw = parse_variant_name(name)
+            for combo in combos:
+                if combo:
+                    clashes = set(raw).intersection(combo)
+                    if clashes:
+                        raise InvalidParameterError(
+                            f"variant axis {sorted(clashes)} clashes with "
+                            f"parameters already inline in algorithm {name!r}"
+                        )
+                    spec_name = canonical_variant_name(base, {**raw, **combo})
+                else:
+                    spec_name = name
+                canonical = REGISTRY.info(spec_name).name
+                if canonical in seen:
+                    raise InvalidParameterError(
+                        f"algorithm {canonical!r} appears more than once in "
+                        "the effective (algorithms x variants) list; "
+                        "duplicates would double-count replicates"
+                    )
+                seen.add(canonical)
+                out.append(canonical)
+        return out
 
     def _build_instance(self, params: Mapping[str, Any], seed: int | None) -> Instance:
         value_x = params.get("value_x")
@@ -172,25 +286,81 @@ class ExperimentSpec:
         seeds: Sequence[int | None] = (
             [None] if self.base_instance is not None else list(self.seeds)
         )
+        # Resolve once per effective algorithm: the canonical name labels
+        # the request, and the registry's parsed parameters become the
+        # variant tag — so inline specs and axis-built ones aggregate
+        # identically (cell params always include the knob values).
+        algorithms = [
+            (info.name, dict(info.params), info.multiprocessor)
+            for info in map(REGISTRY.info, self.algorithm_names())
+        ]
         out: list[RunRequest] = []
         for cell_index, params in enumerate(self.cells()):
             for seed in seeds:
                 inst = self._build_instance(params, seed)
-                for algorithm in self.algorithms:
-                    if (
-                        self.skip_incapable
-                        and inst.m > 1
-                        and not REGISTRY.info(algorithm).multiprocessor
-                    ):
+                for algorithm, variant, multiprocessor in algorithms:
+                    if self.skip_incapable and inst.m > 1 and not multiprocessor:
                         continue
                     tag = {
                         "cell": cell_index,
                         "params": dict(params),
+                        "variant": variant,
                         "seed": seed,
                         "experiment": self.name,
                     }
                     out.append(RunRequest(algorithm, inst, tag=tag))
         return out
+
+
+def aggregate_records(records: Sequence[RunRecord]) -> list[ExperimentCell]:
+    """Aggregate spec-tagged records into per-(cell, algorithm) summaries.
+
+    Seed replicates are regrouped by (grid cell, algorithm) via the
+    request tags — robust to cells dropped by ``skip_incapable`` —
+    in first-appearance order, which for records in request order is
+    exactly the spec's deterministic grid order. Because the grouping
+    needs only the tags, this also works on records merged back from
+    shard files, and a merged sharded run aggregates bit-identically to
+    an unsharded one.
+
+    A cell's ``params`` merges its grid parameters with its variant
+    (algorithm) parameters; the reserved-axis and collision checks in
+    :class:`ExperimentSpec` keep that union unambiguous. The worst
+    certified ratio is NaN-aware: one uncertified replicate makes the
+    aggregate ``NaN`` rather than a position-dependent accident of
+    ``max()``.
+    """
+    groups: dict[tuple[int, str], list[RunRecord]] = {}
+    for record in records:
+        if record.tag is None or "cell" not in record.tag:
+            raise InvalidParameterError(
+                "aggregate_records needs spec-tagged records (tag['cell']); "
+                "got an untagged record — was this batch built by hand?"
+            )
+        groups.setdefault((record.tag["cell"], record.algorithm), []).append(
+            record
+        )
+
+    cells: list[ExperimentCell] = []
+    for (_, algorithm), reps in groups.items():
+        tag = reps[0].tag
+        params = dict(tag.get("params", {}))
+        params.update(tag.get("variant") or {})
+        cells.append(
+            ExperimentCell(
+                algorithm=algorithm,
+                params=params,
+                mean_cost=sum(r.cost for r in reps) / len(reps),
+                mean_energy=sum(r.energy for r in reps) / len(reps),
+                mean_acceptance=sum(r.acceptance for r in reps) / len(reps),
+                worst_certified_ratio=_worst_ratio(
+                    [r.certified_ratio for r in reps]
+                ),
+                runs=len(reps),
+                records=tuple(reps),
+            )
+        )
+    return cells
 
 
 def run_experiment(
@@ -199,34 +369,8 @@ def run_experiment(
     """Execute a spec and aggregate per-(cell, algorithm) statistics.
 
     Cell order is the spec's deterministic grid order with one entry per
-    algorithm; each entry aggregates that cell's seed replicates.
+    (algorithm × variant); each entry aggregates that cell's seed
+    replicates.
     """
     runner = runner or BatchRunner()
-    requests = spec.requests()
-    records = runner.run(requests)
-
-    # Regroup seed replicates by (grid cell, algorithm) via the request
-    # tags — robust to cells dropped by skip_incapable.
-    groups: dict[tuple[int, str], list] = {}
-    for record in records:
-        groups.setdefault((record.tag["cell"], record.algorithm), []).append(record)
-
-    cells: list[ExperimentCell] = []
-    for cell_index, params in enumerate(spec.cells()):
-        for algorithm in spec.algorithms:
-            reps = groups.get((cell_index, algorithm))
-            if not reps:
-                continue
-            cells.append(
-                ExperimentCell(
-                    algorithm=algorithm,
-                    params=dict(params),
-                    mean_cost=sum(r.cost for r in reps) / len(reps),
-                    mean_energy=sum(r.energy for r in reps) / len(reps),
-                    mean_acceptance=sum(r.acceptance for r in reps) / len(reps),
-                    worst_certified_ratio=max(r.certified_ratio for r in reps),
-                    runs=len(reps),
-                    records=tuple(reps),
-                )
-            )
-    return cells
+    return aggregate_records(runner.run(spec.requests()))

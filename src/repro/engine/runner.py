@@ -40,7 +40,7 @@ from ..io.serialize import (
     stable_hash,
 )
 from ..model.job import Instance
-from .cache import ResultCache
+from .cache import CacheBackend, DirectoryCache
 from .registry import REGISTRY
 
 __all__ = [
@@ -50,6 +50,10 @@ __all__ = [
     "BatchRunner",
     "request_key",
     "evaluate_request",
+    "merge_shards",
+    "shard_requests",
+    "record_to_payload",
+    "record_from_payload",
 ]
 
 #: Bumped whenever the record payload changes shape, so stale cache
@@ -103,16 +107,27 @@ class RunRecord:
 
 
 def request_key(algorithm: str, instance: Instance) -> str:
-    """Content address of a cell: algorithm + full instance content."""
-    return stable_hash(
-        {
-            "kind": "run-request",
-            "schema": SCHEMA_VERSION,
-            "record": RECORD_VERSION,
-            "algorithm": algorithm,
-            "instance": instance_to_dict(instance),
-        }
-    )
+    """Content address of a cell: algorithm (+ parsed variant
+    parameters) + full instance content.
+
+    Variant specs are resolved through the registry first, so every
+    spelling of the same variant (``pd?delta=0.05`` / ``pd?delta=5e-2``)
+    keys identically, and a parameter that changes results always
+    changes the key. Base entries keep their historical key (the
+    ``params`` field is only present for variants), so existing caches
+    stay warm.
+    """
+    info = REGISTRY.info(algorithm)
+    payload = {
+        "kind": "run-request",
+        "schema": SCHEMA_VERSION,
+        "record": RECORD_VERSION,
+        "algorithm": info.base,
+        "instance": instance_to_dict(instance),
+    }
+    if info.params:
+        payload["params"] = dict(info.params)
+    return stable_hash(payload)
 
 
 def evaluate_request(request: RunRequest) -> dict[str, Any]:
@@ -134,7 +149,9 @@ def evaluate_request(request: RunRequest) -> dict[str, Any]:
         "kind": "run-record",
         "schema": SCHEMA_VERSION,
         "record": RECORD_VERSION,
-        "algorithm": request.algorithm,
+        # info.name is canonical: every spelling of a variant spec
+        # produces the identical record payload.
+        "algorithm": info.name,
         "cost": float(schedule.cost),
         "energy": float(schedule.energy),
         "lost_value": float(schedule.lost_value),
@@ -161,6 +178,112 @@ def _record_from_payload(
         cached=cached,
         tag=tag,
     )
+
+
+def record_to_payload(record: RunRecord) -> dict[str, Any]:
+    """Serialize a record (shard files, archival) — JSON-able, lossless.
+
+    ``certified_ratio`` / ``dual_g`` may be ``NaN``; the payload is
+    meant for :func:`json.dump` with the default (Python-dialect)
+    ``allow_nan=True``, which round-trips them.
+    """
+    return {
+        "kind": "run-record",
+        "schema": SCHEMA_VERSION,
+        "record": RECORD_VERSION,
+        "algorithm": record.algorithm,
+        "cost": record.cost,
+        "energy": record.energy,
+        "lost_value": record.lost_value,
+        "acceptance": record.acceptance,
+        "certified_ratio": record.certified_ratio,
+        "dual_g": record.dual_g,
+        "schedule": record.schedule,
+        "key": record.key,
+        "cached": record.cached,
+        "tag": dict(record.tag) if record.tag is not None else None,
+    }
+
+
+def record_from_payload(payload: dict[str, Any]) -> RunRecord:
+    """Inverse of :func:`record_to_payload`, with version validation."""
+    if payload.get("kind") != "run-record":
+        raise InvalidParameterError(
+            f"expected a 'run-record' payload, got {payload.get('kind')!r}"
+        )
+    if (
+        payload.get("schema") != SCHEMA_VERSION
+        or payload.get("record") != RECORD_VERSION
+    ):
+        raise InvalidParameterError(
+            f"record payload versions (schema={payload.get('schema')!r}, "
+            f"record={payload.get('record')!r}) do not match this build "
+            f"(schema={SCHEMA_VERSION}, record={RECORD_VERSION})"
+        )
+    return _record_from_payload(
+        payload,
+        key=str(payload.get("key", "")),
+        cached=bool(payload.get("cached", False)),
+        tag=payload.get("tag"),
+    )
+
+
+def _check_shard(shard: tuple[int, int]) -> tuple[int, int]:
+    try:
+        index, count = shard
+    except (TypeError, ValueError):
+        raise InvalidParameterError(
+            f"shard must be an (index, count) pair, got {shard!r}"
+        ) from None
+    if not isinstance(index, int) or not isinstance(count, int):
+        raise InvalidParameterError(
+            f"shard indices must be ints, got {shard!r}"
+        )
+    if count < 1 or not 0 <= index < count:
+        raise InvalidParameterError(
+            f"shard index must satisfy 0 <= index < count, got {shard!r}"
+        )
+    return index, count
+
+
+def shard_requests(
+    requests: Sequence[RunRequest], shard: tuple[int, int]
+) -> list[RunRequest]:
+    """The deterministic subset of ``requests`` owned by one shard.
+
+    Shard ``(i, k)`` owns positions ``i, i+k, i+2k, ...`` of the
+    request list — a pure function of position, so any machine that can
+    enumerate the same request list (the point of declarative specs)
+    agrees on the split without coordination, and round-robin keeps the
+    shards balanced even when cost correlates with grid position.
+    """
+    index, count = _check_shard(shard)
+    return list(requests[index::count])
+
+
+def merge_shards(shards: Sequence[Sequence[RunRecord]]) -> list[RunRecord]:
+    """Recombine per-shard record lists into full-run request order.
+
+    ``shards[i]`` must be the records of shard ``(i, len(shards))`` over
+    one common request list; the result is exactly what an unsharded
+    ``run`` of that list returns. Shapes are validated (shard ``i`` of
+    ``k`` owns ``ceil((n - i) / k)`` positions), so passing shards from
+    different sweeps, a missing shard, or a wrong order fails loudly
+    instead of silently interleaving garbage.
+    """
+    count = len(shards)
+    if count == 0:
+        raise InvalidParameterError("need at least one shard to merge")
+    total = sum(len(s) for s in shards)
+    for index, records in enumerate(shards):
+        expected = (total - index + count - 1) // count
+        if len(records) != expected:
+            raise InvalidParameterError(
+                f"shard {index}/{count} has {len(records)} records, "
+                f"expected {expected} of {total} total — shards are "
+                "incomplete, duplicated, or from different request lists"
+            )
+    return [shards[pos % count][pos // count] for pos in range(total)]
 
 
 @dataclass
@@ -193,20 +316,29 @@ class BatchRunner:
         tests rely on). ``> 1`` fans uncached cells out to that many
         worker processes.
     cache:
-        ``None`` (no caching), a directory path, or a ready
-        :class:`ResultCache`. Hits skip evaluation entirely.
+        ``None`` (no caching), a directory path (opened as a
+        :class:`~repro.engine.cache.DirectoryCache`), or any ready
+        :class:`~repro.engine.cache.CacheBackend` — e.g. a
+        :class:`~repro.engine.cache.SqliteCache`. Hits skip evaluation
+        entirely; backends are interchangeable bit for bit.
     """
 
     def __init__(
-        self, *, workers: int = 1, cache: ResultCache | str | Path | None = None
+        self, *, workers: int = 1, cache: CacheBackend | str | Path | None = None
     ) -> None:
         if not isinstance(workers, int) or workers < 1:
             raise InvalidParameterError(
                 f"workers must be an int >= 1, got {workers!r}"
             )
         self.workers = workers
-        if cache is not None and not isinstance(cache, ResultCache):
-            cache = ResultCache(cache)
+        if isinstance(cache, (str, Path)):
+            cache = DirectoryCache(cache)
+        elif cache is not None and not (
+            hasattr(cache, "get") and hasattr(cache, "put")
+        ):
+            raise InvalidParameterError(
+                f"cache must be a path or a CacheBackend, got {cache!r}"
+            )
         self.cache = cache
         self.stats = RunnerStats()
 
@@ -218,13 +350,29 @@ class BatchRunner:
         """Convenience wrapper: evaluate a single cell."""
         return self.run([RunRequest(algorithm, instance)])[0]
 
-    def run(self, requests: Sequence[RunRequest]) -> list[RunRecord]:
+    def run(
+        self,
+        requests: Sequence[RunRequest],
+        *,
+        shard: tuple[int, int] | None = None,
+    ) -> list[RunRecord]:
         """Evaluate all cells; results are in request order.
 
         Duplicate cells (same algorithm + instance content) are computed
         once and fanned back out to every requesting position.
+
+        ``shard=(i, k)`` evaluates only the deterministic ``i``-th of
+        ``k`` slices of the request list (see :func:`shard_requests`)
+        and returns that slice's records; :func:`merge_shards`
+        recombines the ``k`` slices into the unsharded result, so a
+        grid can be split across machines and recombined into
+        bit-identical measurements. (Only the ``cached`` bookkeeping
+        flag can differ, since it reflects each shard's own cache
+        state.)
         """
-        requests = list(requests)
+        requests = (
+            list(requests) if shard is None else shard_requests(requests, shard)
+        )
         keys = [request_key(r.algorithm, r.instance) for r in requests]
 
         payloads: dict[str, dict[str, Any]] = {}

@@ -23,8 +23,13 @@ Subcommands
 ``sweep``
     Declarative parameter sweep on the experiment engine: an
     (alpha × m × value-multiplier) grid over a workload family for any
-    set of registered algorithms, optionally parallel (``--workers``)
-    and cached (``--cache``).
+    set of registered algorithms — including parameterized variant
+    specs (``pd?delta=0.05``) and declarative variant axes
+    (``--variant delta=0.01,0.05``) — optionally parallel
+    (``--workers``), cached (``--cache`` + ``--cache-backend
+    {dir,sqlite}``), and split across machines (``--shard i/k`` to
+    compute one deterministic slice, ``--merge shard0.json shard1.json
+    ...`` to recombine slices into the exact unsharded result).
 
 The CLI is a thin shell over the library: every subcommand body is a few
 calls into the public API, which keeps it honest as documentation.
@@ -40,7 +45,7 @@ from typing import Callable, Sequence
 from ..analysis.report import audit_run
 from ..core.pd import run_pd
 from ..core.simulator import available_algorithms, run_algorithm
-from ..errors import ReproError
+from ..errors import InvalidParameterError, ReproError
 from ..model.job import Instance
 from .serialize import (
     instance_from_dict,
@@ -57,6 +62,12 @@ def _generators() -> dict[str, Callable[..., Instance]]:
     from ..workloads import named_families
 
     return named_families()
+
+
+def _cache_backends() -> dict[str, Callable]:
+    from ..engine.cache import BACKENDS
+
+    return BACKENDS
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -78,7 +89,14 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--seed", type=int, default=0)
 
     run = sub.add_parser("run", help="run one algorithm on an instance file")
-    run.add_argument("algorithm", choices=available_algorithms())
+    run.add_argument(
+        "algorithm",
+        metavar="algorithm",
+        help=(
+            "registry name or variant spec (e.g. pd?delta=0.05); "
+            f"names: {', '.join(available_algorithms())}"
+        ),
+    )
     run.add_argument("instance", help="instance JSON path")
     run.add_argument("--save-schedule", help="write the schedule JSON here")
     run.add_argument("--gantt", action="store_true", help="print a Gantt chart")
@@ -149,10 +167,47 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("-n", type=int, default=20, help="jobs per instance")
     swp.add_argument("--seeds", default="0,1,2", help="comma-separated seeds")
     swp.add_argument(
+        "--variant",
+        action="append",
+        default=None,
+        metavar="KEY=V1,V2,...",
+        help=(
+            "algorithm-parameter axis applied to every algorithm as a "
+            "variant spec (repeatable; e.g. --variant delta=0.01,0.05)"
+        ),
+    )
+    swp.add_argument(
         "--workers", type=int, default=1, help="process-pool size (1 = serial)"
     )
     swp.add_argument(
-        "--cache", default=None, help="content-addressed result-cache directory"
+        "--cache",
+        default=None,
+        help="content-addressed result-cache path (directory or sqlite file)",
+    )
+    swp.add_argument(
+        "--cache-backend",
+        choices=sorted(_cache_backends()),
+        default="dir",
+        help="cache backend for --cache (default: dir)",
+    )
+    swp.add_argument(
+        "--shard",
+        default=None,
+        metavar="I/K",
+        help=(
+            "compute only the deterministic shard I of K (0-based) and "
+            "write its records to --json for a later --merge"
+        ),
+    )
+    swp.add_argument(
+        "--merge",
+        nargs="+",
+        default=None,
+        metavar="SHARD.json",
+        help=(
+            "merge shard record files (one per shard, any order) into "
+            "the full sweep instead of computing anything"
+        ),
     )
     swp.add_argument(
         "--json", dest="json_out", default=None, help="also write cells as JSON"
@@ -296,9 +351,143 @@ def _csv(text: str, cast: Callable):
     return [cast(s.strip()) for s in text.split(",") if s.strip()]
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
+def _number(text: str):
+    """Parse a variant-axis value: int if it looks like one, else float."""
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)
+
+
+def _parse_shard(text: str) -> tuple[int, int]:
+    index, sep, count = text.partition("/")
+    try:
+        if not sep:
+            raise ValueError
+        return int(index), int(count)
+    except ValueError:
+        raise InvalidParameterError(
+            f"--shard expects I/K (e.g. 0/2), got {text!r}"
+        ) from None
+
+
+def _variant_axes(specs: Sequence[str] | None) -> dict[str, list]:
+    axes: dict[str, list] = {}
+    for spec in specs or ():
+        key, sep, values = spec.partition("=")
+        if not sep or not key or not values:
+            raise InvalidParameterError(
+                f"--variant expects KEY=V1,V2,..., got {spec!r}"
+            )
+        axes[key.strip()] = _csv(values, _number)
+    return axes
+
+
+def _cells_payload(experiment: str, cells) -> dict:
+    """The sweep's machine-readable form — shared by the direct and the
+    merged paths so a merged sharded sweep is byte-identical to an
+    unsharded one."""
+    return {
+        "schema": 1,
+        "kind": "sweep",
+        "experiment": experiment,
+        "cells": [
+            {
+                "algorithm": c.algorithm,
+                "params": c.params,
+                "mean_cost": c.mean_cost,
+                "mean_energy": c.mean_energy,
+                "mean_acceptance": c.mean_acceptance,
+                # strict-JSON friendly: no NaN literals in the output
+                "worst_certified_ratio": (
+                    None
+                    if math.isnan(c.worst_certified_ratio)
+                    else c.worst_certified_ratio
+                ),
+                "runs": c.runs,
+            }
+            for c in cells
+        ],
+    }
+
+
+def _print_cells(experiment: str, cells) -> None:
     from ..analysis.sweeps import SweepCell, format_cells
-    from ..engine import BatchRunner, ExperimentSpec, run_experiment
+
+    table = [
+        SweepCell(
+            params={"algorithm": c.algorithm, **c.params},
+            mean_cost=c.mean_cost,
+            worst_certified_ratio=c.worst_certified_ratio,
+            mean_acceptance=c.mean_acceptance,
+            runs=c.runs,
+        )
+        for c in cells
+    ]
+    print(format_cells(table, title=experiment))
+
+
+def _merge_shard_files(paths: Sequence[str]):
+    """Load shard record files and recombine them in shard order."""
+    from ..engine import record_from_payload
+    from ..engine.runner import merge_shards
+
+    by_index: dict[int, list] = {}
+    experiments = set()
+    counts = set()
+    for path in paths:
+        payload = load_json(path)
+        if payload.get("kind") != "sweep-shard":
+            raise InvalidParameterError(
+                f"{path} is not a sweep shard file (kind="
+                f"{payload.get('kind')!r}); produce one with --shard I/K"
+            )
+        index, count = payload["shard"]
+        counts.add(int(count))
+        experiments.add(payload.get("experiment"))
+        if index in by_index:
+            raise InvalidParameterError(f"shard {index} given twice")
+        by_index[int(index)] = [
+            record_from_payload(r) for r in payload["records"]
+        ]
+    if len(counts) != 1 or len(experiments) != 1:
+        raise InvalidParameterError(
+            f"shard files disagree (experiments={sorted(map(str, experiments))}, "
+            f"shard counts={sorted(counts)}); merge shards of one sweep only"
+        )
+    count = counts.pop()
+    missing = sorted(set(range(count)) - set(by_index))
+    if missing:
+        raise InvalidParameterError(
+            f"missing shard file(s) for index(es) {missing} of {count}"
+        )
+    return experiments.pop(), merge_shards([by_index[i] for i in range(count)])
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from ..engine import (
+        BatchRunner,
+        ExperimentSpec,
+        aggregate_records,
+        open_cache,
+        record_to_payload,
+    )
+
+    if args.shard and args.merge:
+        raise InvalidParameterError(
+            "--shard computes a slice, --merge recombines slices; "
+            "use one per invocation"
+        )
+
+    if args.merge:
+        experiment, records = _merge_shard_files(args.merge)
+        cells = aggregate_records(records)
+        _print_cells(experiment, cells)
+        print(f"(merged {len(args.merge)} shards, {len(records)} records)")
+        if args.json_out:
+            save_json(_cells_payload(experiment, cells), args.json_out)
+            print(f"cells written to {args.json_out}")
+        return 0
 
     grid: dict[str, list] = {
         "alpha": _csv(args.alphas, float),
@@ -311,23 +500,45 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         family=args.family,
         grid=grid,
         algorithms=tuple(_csv(args.algorithms, str)),
+        variants=_variant_axes(args.variant),
         n=args.n,
         seeds=tuple(_csv(args.seeds, int)),
         skip_incapable=True,
     )
-    runner = BatchRunner(workers=args.workers, cache=args.cache)
-    cells = run_experiment(spec, runner)
-    table = [
-        SweepCell(
-            params={"algorithm": c.algorithm, **c.params},
-            mean_cost=c.mean_cost,
-            worst_certified_ratio=c.worst_certified_ratio,
-            mean_acceptance=c.mean_acceptance,
-            runs=c.runs,
+    cache = (
+        open_cache(args.cache, args.cache_backend)
+        if args.cache is not None
+        else None
+    )
+    runner = BatchRunner(workers=args.workers, cache=cache)
+
+    if args.shard:
+        if not args.json_out:
+            raise InvalidParameterError(
+                "--shard needs --json FILE to store the shard's records "
+                "for the --merge step"
+            )
+        index, count = _parse_shard(args.shard)
+        records = runner.run(spec.requests(), shard=(index, count))
+        save_json(
+            {
+                "schema": 1,
+                "kind": "sweep-shard",
+                "experiment": spec.name,
+                "shard": [index, count],
+                "records": [record_to_payload(r) for r in records],
+            },
+            args.json_out,
         )
-        for c in cells
-    ]
-    print(format_cells(table, title=spec.name))
+        print(
+            f"shard {index}/{count}: {len(records)} records written to "
+            f"{args.json_out} ({runner.stats.computed} computed, "
+            f"{runner.stats.cache_hits} from cache)"
+        )
+        return 0
+
+    cells = aggregate_records(runner.run(spec.requests()))
+    _print_cells(spec.name, cells)
     stats = runner.stats
     note = f", {stats.deduplicated} deduplicated" if stats.deduplicated else ""
     print(
@@ -335,29 +546,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"{stats.cache_hits} served from cache{note})"
     )
     if args.json_out:
-        payload = {
-            "schema": 1,
-            "kind": "sweep",
-            "experiment": spec.name,
-            "cells": [
-                {
-                    "algorithm": c.algorithm,
-                    "params": c.params,
-                    "mean_cost": c.mean_cost,
-                    "mean_energy": c.mean_energy,
-                    "mean_acceptance": c.mean_acceptance,
-                    # strict-JSON friendly: no NaN literals in the output
-                    "worst_certified_ratio": (
-                        None
-                        if math.isnan(c.worst_certified_ratio)
-                        else c.worst_certified_ratio
-                    ),
-                    "runs": c.runs,
-                }
-                for c in cells
-            ],
-        }
-        save_json(payload, args.json_out)
+        save_json(_cells_payload(spec.name, cells), args.json_out)
         print(f"cells written to {args.json_out}")
     return 0
 

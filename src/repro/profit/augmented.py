@@ -122,10 +122,10 @@ def run_pd_augmented(
 # ----------------------------------------------------------------------
 from ..engine.registry import register_algorithm  # noqa: E402
 
-#: Augmentation used by the registered ``pd-aug`` variant. A fixed,
-#: documented knob (rather than a parameter) keeps registry entries
-#: nullary; callers who want to sweep epsilon use
-#: :func:`run_pd_augmented` or :func:`repro.analysis.sweeps.augmentation_curve`.
+#: Augmentation used by the bare ``pd-aug`` registry entry. Callers who
+#: want another epsilon address the variant directly —
+#: ``pd-aug?epsilon=0.3`` — or sweep it with an
+#: :class:`~repro.engine.experiment.ExperimentSpec` ``variants`` axis.
 REGISTERED_EPSILON = 0.1
 
 
@@ -141,8 +141,11 @@ def _pd_aug_certificate(result: AugmentedProfitResult):
     online=True,
     multiprocessor=True,
     certificate=_pd_aug_certificate,
-    summary=f"PD with (1 + {REGISTERED_EPSILON}) speed augmentation (Pruhs-Stein)",
+    summary=f"PD with (1 + eps) speed augmentation (Pruhs-Stein; default eps={REGISTERED_EPSILON})",
+    variant_params={"epsilon": float, "delta": float},
 )
-def _run_pd_aug_registered(instance):
-    result = run_pd_augmented(instance, REGISTERED_EPSILON)
+def _run_pd_aug_registered(
+    instance, *, epsilon: float = REGISTERED_EPSILON, delta: float | None = None
+):
+    result = run_pd_augmented(instance, epsilon, delta=delta)
     return result.inner.schedule, result

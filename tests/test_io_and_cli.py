@@ -225,3 +225,83 @@ class TestNewSubcommands:
         inst_path = self._instance(tmp_path)
         assert main(["run", "solo-threshold", inst_path]) == 0
         assert "accepted" in capsys.readouterr().out
+
+    def test_variant_spec_in_run(self, tmp_path, capsys):
+        inst_path = self._instance(tmp_path)
+        assert main(["run", "pd?delta=0.05", inst_path]) == 0
+        assert "accepted" in capsys.readouterr().out
+
+    def test_unknown_algorithm_in_run_is_graceful(self, tmp_path, capsys):
+        inst_path = self._instance(tmp_path)
+        assert main(["run", "nope", inst_path]) == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+
+class TestSweepSubcommand:
+    """CLI coverage for sharding, cache backends, and variant axes."""
+
+    BASE = [
+        "sweep", "poisson", "-n", "5", "--alphas", "3.0", "--ms", "1",
+        "--algorithms", "pd", "--seeds", "0,1",
+    ]
+
+    def test_sweep_with_variant_axis(self, tmp_path, capsys):
+        out_path = str(tmp_path / "cells.json")
+        argv = self.BASE + ["--variant", "delta=0.01,0.05", "--json", out_path]
+        assert main(argv) == 0
+        assert "pd?delta=0.01" in capsys.readouterr().out
+        payload = load_json(out_path)
+        assert [c["algorithm"] for c in payload["cells"]] == [
+            "pd?delta=0.01", "pd?delta=0.05",
+        ]
+        assert payload["cells"][0]["params"]["delta"] == 0.01
+
+    def test_sweep_sqlite_backend_caches(self, tmp_path, capsys):
+        cache_path = str(tmp_path / "cache.db")
+        argv = self.BASE + ["--cache", cache_path, "--cache-backend", "sqlite"]
+        assert main(argv) == 0
+        assert "2 cells computed, 0 served from cache" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "0 cells computed, 2 served from cache" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("backend", ["dir", "sqlite"])
+    def test_sharded_sweep_merges_byte_identical(self, backend, tmp_path, capsys):
+        cache_path = str(
+            tmp_path / ("cache.db" if backend == "sqlite" else "cache-dir")
+        )
+        caching = ["--cache", cache_path, "--cache-backend", backend]
+        variants = ["--variant", "delta=0.01,0.05"]
+        full, merged = str(tmp_path / "full.json"), str(tmp_path / "merged.json")
+        shards = [str(tmp_path / f"s{i}.json") for i in range(2)]
+
+        assert main(self.BASE + variants + caching + ["--json", full]) == 0
+        for index, shard_path in enumerate(shards):
+            argv = self.BASE + variants + caching + [
+                "--shard", f"{index}/2", "--json", shard_path,
+            ]
+            assert main(argv) == 0
+        assert main(["sweep", "poisson", "--merge", *shards, "--json", merged]) == 0
+        capsys.readouterr()
+        with open(full) as f_full, open(merged) as f_merged:
+            assert f_full.read() == f_merged.read()
+
+    def test_shard_requires_json(self, capsys):
+        assert main(self.BASE + ["--shard", "0/2"]) == 2
+        assert "--json" in capsys.readouterr().err
+
+    def test_bad_shard_spec(self, capsys):
+        assert main(self.BASE + ["--shard", "2", "--json", "x.json"]) == 2
+        assert "I/K" in capsys.readouterr().err
+
+    def test_merge_rejects_incomplete_shards(self, tmp_path, capsys):
+        shard_path = str(tmp_path / "s0.json")
+        argv = self.BASE + ["--shard", "0/2", "--json", shard_path]
+        assert main(argv) == 0
+        assert main(["sweep", "poisson", "--merge", shard_path]) == 2
+        assert "missing shard" in capsys.readouterr().err
+
+    def test_merge_rejects_non_shard_files(self, tmp_path, capsys):
+        cells_path = str(tmp_path / "cells.json")
+        assert main(self.BASE + ["--json", cells_path]) == 0
+        assert main(["sweep", "poisson", "--merge", cells_path]) == 2
+        assert "not a sweep shard file" in capsys.readouterr().err

@@ -122,3 +122,37 @@ class TestExtensionCurves:
 
         with pytest.raises(InvalidParameterError):
             augmentation_curve(poisson_instance(3, seed=0), epsilons=[])
+
+    def test_augmentation_curve_matches_direct_runs(self):
+        from repro.analysis import augmentation_curve
+        from repro.profit import run_pd_augmented, vanishing_margin_instance
+
+        inst = vanishing_margin_instance(0.05, 3.0)
+        rows = augmentation_curve(inst, epsilons=[0.0, 0.3])
+        for eps, profit, energy in rows:
+            direct = run_pd_augmented(inst, eps)
+            assert profit == pytest.approx(direct.profit.profit, abs=1e-12)
+            assert energy == direct.energy
+
+    def test_delta_ablation_curve_degrades_away_from_optimum(self):
+        from repro.analysis.sweeps import delta_ablation_curve
+        from repro.errors import InvalidParameterError
+        from repro.workloads import poisson_instance
+
+        alpha = 3.0
+        delta_star = alpha ** (1.0 - alpha)
+        cells = delta_ablation_curve(
+            poisson_instance,
+            deltas=[0.25 * delta_star, delta_star],
+            n=10,
+            alpha=alpha,
+            seeds=(0, 1),
+        )
+        assert [c.params["delta"] for c in cells] == [
+            0.25 * delta_star, delta_star,
+        ]
+        # the certified ratio is worse below the paper's optimum
+        assert cells[0].worst_certified_ratio > cells[1].worst_certified_ratio
+        assert cells[1].worst_certified_ratio <= alpha**alpha * (1 + 1e-7)
+        with pytest.raises(InvalidParameterError):
+            delta_ablation_curve(poisson_instance, deltas=[])
