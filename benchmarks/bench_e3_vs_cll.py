@@ -11,10 +11,12 @@ The paper improves the single-processor guarantee from
   other (PD's improvement is in the guarantee; on typical instances both
   behave like OA with an admission filter).
 
-The head-to-head grid runs on the experiment engine: one
-:class:`RunRequest` per (family, alpha, seed, algorithm), with the
-per-job acceptance decisions read back from the records' serialized
-schedules — both algorithms report them in arrival order.
+The head-to-head grid is one declarative
+:class:`~repro.engine.ExperimentSpec`: the families form a *workload
+axis* (registry names resolved through ``repro.workloads``), alpha is a
+grid axis, and both algorithms run on every cell — the per-job
+acceptance decisions are read back from the records' serialized
+schedules, which both algorithms report in arrival order.
 """
 
 from __future__ import annotations
@@ -23,17 +25,12 @@ import math
 
 import pytest
 
-from repro.engine import BatchRunner, RunRequest
-from repro.workloads import heavy_tail_instance, poisson_instance, tight_instance
+from repro.engine import ExperimentSpec, run_experiment
 
 from helpers import emit_table
 
 ALPHAS = [1.5, 2.0, 2.5, 3.0]
-FAMILIES = [
-    ("poisson", poisson_instance),
-    ("heavy-tail", heavy_tail_instance),
-    ("tight", tight_instance),
-]
+FAMILIES = ["poisson", "heavy-tail", "tight"]
 HEAD_TO_HEAD_ALPHAS = [2.0, 3.0]
 SEEDS = range(4)
 
@@ -65,31 +62,39 @@ def test_e3_guarantee_table(benchmark):
 
 
 def head_to_head():
-    requests = []
-    for name, family in FAMILIES:
-        for alpha in HEAD_TO_HEAD_ALPHAS:
-            for seed in SEEDS:
-                inst = family(15, m=1, alpha=alpha, seed=seed)
-                requests.append(RunRequest("pd", inst))
-                requests.append(RunRequest("cll", inst))
-    records = BatchRunner().run(requests)
+    spec = ExperimentSpec(
+        name="e3_head_to_head",
+        workloads=FAMILIES,
+        grid={"alpha": HEAD_TO_HEAD_ALPHAS},
+        algorithms=("pd", "cll"),
+        n=15,
+        seeds=tuple(SEEDS),
+    )
+    cells = run_experiment(spec)
 
     out = []
-    i = 0
-    for name, _family in FAMILIES:
-        for alpha in HEAD_TO_HEAD_ALPHAS:
-            pd_total = cll_total = 0.0
-            agree = total = 0
-            for _seed in SEEDS:
-                pd, cll = records[i], records[i + 1]
-                i += 2
-                pd_total += pd.cost
-                cll_total += cll.cost
-                agree += sum(
-                    a == b for a, b in zip(pd.finished, cll.finished)
-                )
-                total += len(pd.finished)
-            out.append((name, alpha, pd_total, cll_total, agree / total))
+    # Cell order: workload slowest, then alpha, algorithms innermost —
+    # so cells pair up as (pd, cll) per (family, alpha).
+    for pd_cell, cll_cell in zip(cells[0::2], cells[1::2]):
+        assert (pd_cell.algorithm, cll_cell.algorithm) == ("pd", "cll")
+        assert pd_cell.params["workload"] == cll_cell.params["workload"]
+        pd_total = sum(r.cost for r in pd_cell.records)
+        cll_total = sum(r.cost for r in cll_cell.records)
+        agree = sum(
+            a == b
+            for pd, cll in zip(pd_cell.records, cll_cell.records)
+            for a, b in zip(pd.finished, cll.finished)
+        )
+        total = sum(len(pd.finished) for pd in pd_cell.records)
+        out.append(
+            (
+                pd_cell.params["workload"],
+                pd_cell.params["alpha"],
+                pd_total,
+                cll_total,
+                agree / total,
+            )
+        )
     return out
 
 

@@ -20,16 +20,22 @@ Run: ``python examples/algorithm_shootout.py``
 from __future__ import annotations
 
 from repro import REGISTRY, BatchRunner, RunRequest
-from repro.workloads import agreeable_instance, poisson_instance, tight_instance
+from repro.workloads import WORKLOADS
 
 ONLINE = ["oa", "qoa", "bkp", "avr", "cll", "pd"]
+
+#: Workload-registry specs — every spelling of these canonicalizes to
+#: the same instance content, hence the same batch-runner cache key.
+FAMILIES = [
+    "poisson?n=14&alpha=3.0&seed=4",
+    "agreeable?n=14&alpha=3.0&seed=4",
+    "tight?n=14&alpha=3.0&seed=4",
+]
 
 
 def main() -> None:
     families = [
-        ("poisson", poisson_instance(14, m=1, alpha=3.0, seed=4)),
-        ("agreeable", agreeable_instance(14, m=1, alpha=3.0, seed=4)),
-        ("tight", tight_instance(14, m=1, alpha=3.0, seed=4)),
+        (WORKLOADS.info(spec).base, WORKLOADS.build(spec)) for spec in FAMILIES
     ]
 
     # One flat request list: per family, the profitable matrix, then the

@@ -23,14 +23,16 @@ Layout
 * :mod:`repro.core` — the paper's primal-dual algorithm **PD**, the
   Chan–Lam–Li baseline, and a uniform algorithm runner.
 * :mod:`repro.engine` — the experiment engine: capability-aware
-  algorithm registry, parallel/cached batch runner, declarative sweeps.
+  algorithm registry, streaming/cached batch runner with a
+  measured-cost shard scheduler, declarative sweeps.
 * :mod:`repro.classical` — YDS, OA, AVR, BKP, qOA.
 * :mod:`repro.offline` — convex program + exact (IMP) solver.
 * :mod:`repro.analysis` — dual certificates, Lemma/Proposition checks.
 * :mod:`repro.discrete` — finite speed menus (SpeedStep-style hardware).
 * :mod:`repro.general` — PD with arbitrary convex power functions.
 * :mod:`repro.profit` — the Pruhs–Stein profit objective + augmentation.
-* :mod:`repro.workloads` — adversarial / random / trace-like generators.
+* :mod:`repro.workloads` — adversarial / random / trace-like generators,
+  all registered with the declarative workload registry (``WORKLOADS``).
 * :mod:`repro.viz` — ASCII schedule rendering (the paper's figures).
 """
 
@@ -69,6 +71,7 @@ from .profit import profit_of, run_pd_augmented
 from .model import Grid, Instance, Job, PolynomialPower, Schedule, grid_for_instance
 from .offline import minimal_uniform_speed, run_uniform_speed, solve_exact, solve_min_energy
 from .viz import gantt, speed_profile
+from .workloads import WORKLOADS, WorkloadInfo, WorkloadRegistry
 
 __version__ = "1.1.0"
 
@@ -97,6 +100,10 @@ __all__ = [
     "RunRecord",
     "ExperimentSpec",
     "run_experiment",
+    # workload registry
+    "WORKLOADS",
+    "WorkloadInfo",
+    "WorkloadRegistry",
     # classical
     "yds",
     "run_oa",

@@ -17,7 +17,10 @@ exactly the algorithms whose registry entry declares the
 ``certificate-producing`` capability (``pd``, ``pd-aug``, ``cll``, ...);
 other algorithms report ``NaN`` rather than a fake number. Algorithm
 knobs sweep as *variant axes* (``pd?delta=...`` registry variants under
-the hood), so every knob setting carries its own cache key.
+the hood), so every knob setting carries its own cache key — and
+workload knobs sweep as *workload axes* (``heavy-tail?alpha=3.0``
+registry specs, see :func:`workload_comparison`), with the same
+canonical-name / shared-cache-key property on the instance side.
 """
 
 from __future__ import annotations
@@ -39,6 +42,7 @@ __all__ = [
     "delta_ablation_curve",
     "menu_granularity_curve",
     "augmentation_curve",
+    "workload_comparison",
     "format_cells",
 ]
 
@@ -193,6 +197,43 @@ def delta_ablation_curve(
     )
     return [
         _to_sweep_cell(cell, dict(cell.params))
+        for cell in run_experiment(spec, runner)
+    ]
+
+
+def workload_comparison(
+    workloads: Sequence[str],
+    *,
+    algorithms: Sequence[str] = ("pd",),
+    n: int = 20,
+    seeds: Iterable[int] = range(3),
+    runner: BatchRunner | None = None,
+    **family_kwargs,
+) -> list[SweepCell]:
+    """A set of algorithms across a declarative *workload axis*.
+
+    Each ``workloads`` entry is a registry spec —
+    ``"heavy-tail?n=64&alpha=3.0"`` pins that family's knobs inline —
+    resolved through :data:`repro.workloads.registry.WORKLOADS` to its
+    canonical name, which labels the cell (``params["workload"]``) and
+    guarantees every spelling of a workload shares one cache key. One
+    cell per (workload × algorithm), workloads varying slowest. This
+    replaces the hand-built "list of instances per family" loop the
+    benchmarks used to carry.
+    """
+    workloads = list(workloads)  # materialize: generators welcome
+    if not workloads:
+        raise InvalidParameterError("need at least one workload")
+    spec = ExperimentSpec(
+        name="workload_comparison",
+        workloads=tuple(workloads),
+        algorithms=tuple(algorithms),
+        n=n,
+        seeds=tuple(seeds),
+        family_kwargs=dict(family_kwargs),
+    )
+    return [
+        _to_sweep_cell(cell, {"algorithm": cell.algorithm, **cell.params})
         for cell in run_experiment(spec, runner)
     ]
 

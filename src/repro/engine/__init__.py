@@ -1,15 +1,21 @@
-"""The experiment engine: registry → batch runner → declarative sweeps.
+"""The experiment engine: registries → streaming runner → declarative sweeps.
 
 Three layers, each usable on its own:
 
 * :mod:`repro.engine.registry` — the capability-aware
   :class:`AlgorithmRegistry` every scheduler registers into
-  (profit-aware / online / multiprocessor / certificate-producing);
-* :mod:`repro.engine.runner` — :class:`BatchRunner`, which evaluates
-  (algorithm × instance) grids serially or on a process pool with a
-  content-addressed on-disk :class:`ResultCache`;
+  (profit-aware / online / multiprocessor / certificate-producing); its
+  workload-side mirror is :class:`repro.workloads.registry.
+  WorkloadRegistry`, which both share one parameterized-spec grammar;
+* :mod:`repro.engine.runner` — :class:`BatchRunner`, which *streams*
+  (algorithm × instance) grids (``iter_records`` yields in completion
+  order; ``run`` collects in request order) serially or on a process
+  pool, with a content-addressed on-disk :class:`ResultCache`, per-cell
+  measured wall times, and a cost-aware shard scheduler
+  (:func:`shard_assignment` round-robin or LPT);
 * :mod:`repro.engine.experiment` — :class:`ExperimentSpec`, the
-  declarative parameter-grid form that compiles down to batch requests.
+  declarative parameter-grid form (grid, variant, and workload axes)
+  that compiles down to batch requests.
 
 See ``docs/architecture.md`` for the layering contract and the cache
 key scheme.
@@ -48,6 +54,7 @@ from .runner import (
     record_from_payload,
     record_to_payload,
     request_key,
+    shard_assignment,
     shard_requests,
 )
 
@@ -70,6 +77,7 @@ __all__ = [
     "RunRequest",
     "request_key",
     "evaluate_request",
+    "shard_assignment",
     "shard_requests",
     "merge_shards",
     "record_to_payload",

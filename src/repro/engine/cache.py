@@ -28,6 +28,7 @@ BatchRunner` is given.
 from __future__ import annotations
 
 import json
+import math
 import os
 import sqlite3
 import tempfile
@@ -64,6 +65,13 @@ class CacheBackend(Protocol):
     or an idempotent overwrite with equal content (keys are content
     addresses, so both are indistinguishable). ``get`` of a missing or
     unreadable entry returns ``None`` — a miss, never an error.
+
+    ``close`` releases whatever the backend holds open (connections,
+    sidecar files); it must be idempotent, and a closed backend may
+    lazily reopen on the next use. Every backend is also a context
+    manager (``with open_cache(...) as cache: ...``) that closes on
+    exit — long-lived callers like the CLI use that instead of leaving
+    cleanup to the garbage collector.
     """
 
     def get(self, key: str) -> dict[str, Any] | None: ...
@@ -71,6 +79,8 @@ class CacheBackend(Protocol):
     def put(self, key: str, payload: dict[str, Any]) -> None: ...
 
     def keys(self) -> Iterator[str]: ...
+
+    def close(self) -> None: ...
 
     def __contains__(self, key: str) -> bool: ...
 
@@ -161,6 +171,15 @@ class DirectoryCache:
             if not path.name.startswith(_TMP_PREFIX):
                 yield path.stem
 
+    def close(self) -> None:
+        """No-op: every operation opens and closes its own file."""
+
+    def __enter__(self) -> "DirectoryCache":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()
 
@@ -200,8 +219,16 @@ class SqliteCache:
             conn.execute("PRAGMA synchronous=NORMAL")
             conn.execute(
                 "CREATE TABLE IF NOT EXISTS entries ("
-                "key TEXT PRIMARY KEY, payload TEXT NOT NULL)"
+                "key TEXT PRIMARY KEY, payload TEXT NOT NULL, "
+                "wall_time REAL)"
             )
+            try:
+                # Migrate pre-timing databases in place; the duplicate-
+                # column error on current ones is the cheap existence
+                # probe.
+                conn.execute("ALTER TABLE entries ADD COLUMN wall_time REAL")
+            except sqlite3.OperationalError:
+                pass
             conn.commit()
             self._conn = conn
             self._pid = os.getpid()
@@ -219,12 +246,40 @@ class SqliteCache:
             return None  # corrupt entry reads as a miss, like the dir backend
 
     def put(self, key: str, payload: dict[str, Any]) -> None:
+        # The measured wall time is denormalized into its own column so
+        # the LPT cost model can read one float per cell instead of
+        # parsing full payloads (schedules dominate the payload bytes).
+        timing = payload.get("wall_time")
+        if not isinstance(timing, (int, float)) or not math.isfinite(timing):
+            timing = None
         conn = self._connect()
         with conn:
             conn.execute(
-                "INSERT OR REPLACE INTO entries (key, payload) VALUES (?, ?)",
-                (key, json.dumps(payload)),
+                "INSERT OR REPLACE INTO entries (key, payload, wall_time) "
+                "VALUES (?, ?, ?)",
+                (key, json.dumps(payload), timing),
             )
+
+    def get_timing(self, key: str) -> float | None:
+        """The stored ``wall_time`` of one entry, payload left unparsed.
+
+        The fast path for :meth:`~repro.engine.runner.BatchRunner.
+        estimate_costs` over large caches. Entries written by a
+        pre-timing build (``NULL`` column) fall back to a full payload
+        read; a miss (or an entry with no usable timing) is ``None``.
+        """
+        row = self._connect().execute(
+            "SELECT wall_time FROM entries WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            return None
+        if row[0] is not None:
+            return float(row[0])
+        payload = self.get(key)
+        timing = payload.get("wall_time") if payload is not None else None
+        if isinstance(timing, (int, float)) and math.isfinite(timing):
+            return float(timing)
+        return None
 
     def keys(self) -> Iterator[str]:
         for (key,) in self._connect().execute(
@@ -246,10 +301,27 @@ class SqliteCache:
         )
 
     def close(self) -> None:
-        """Close the connection (safe to call twice; reopens on demand)."""
+        """Checkpoint the WAL and close the connection.
+
+        The explicit ``wal_checkpoint(TRUNCATE)`` folds the ``-wal`` /
+        ``-shm`` sidecar files back into the database before closing, so
+        a finished run leaves one shippable file behind instead of
+        relying on the garbage collector to get around to it. Safe to
+        call twice; the connection reopens lazily on the next use.
+        """
         if self._conn is not None and self._pid == os.getpid():
+            try:
+                self._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+            except sqlite3.Error:
+                pass  # best effort: closing still detaches the sidecars
             self._conn.close()
         self._conn = None
+
+    def __enter__(self) -> "SqliteCache":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
 
 #: Constructors by CLI/backend name; the single source of truth for

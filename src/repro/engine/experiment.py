@@ -1,12 +1,25 @@
 """Declarative experiments: parameter grids compiled to batch requests.
 
-An :class:`ExperimentSpec` names *what* to measure — a workload family
-(or one fixed instance), a parameter grid, seeds, and algorithms — and
-:func:`run_experiment` compiles it into the flat (algorithm × cell ×
-seed) request list a :class:`~repro.engine.runner.BatchRunner` executes,
-then aggregates the records back into per-cell summaries. The
-hand-rolled triple loops of :mod:`repro.analysis.sweeps`, the benchmark
-harnesses, and the CLI ``sweep`` subcommand are all this one shape.
+An :class:`ExperimentSpec` names *what* to measure — a workload source,
+a parameter grid, seeds, and algorithms — and :func:`run_experiment`
+compiles it into the flat (workload × cell × seed × algorithm) request
+list a :class:`~repro.engine.runner.BatchRunner` executes, then
+aggregates the records back into per-cell summaries. The hand-rolled
+triple loops of :mod:`repro.analysis.sweeps`, the benchmark harnesses,
+and the CLI ``sweep`` subcommand are all this one shape.
+
+The workload source is exactly one of:
+
+* ``family=`` — one generator (a callable, a registry name, or a
+  parameterized spec like ``"heavy-tail?pareto_shape=2.0"``) swept over
+  the grid;
+* ``base_instance=`` — one fixed job set re-run across the grid;
+* ``workloads=`` — a *workload axis*: a list of registry specs
+  (``["poisson", "heavy-tail?n=64&alpha=3.0"]``), each swept over the
+  whole grid, labeling its cells with the canonical spec name. Specs
+  resolve through :data:`repro.workloads.registry.WORKLOADS`, so every
+  spelling of the same workload builds the identical instance — and
+  therefore hashes to the identical batch-runner cache key.
 
 Grid parameters are applied by name:
 
@@ -16,10 +29,11 @@ Grid parameters are applied by name:
   generation (the admission S-curve knob);
 * any other key — forwarded to the family as a keyword argument.
 
-Cells are emitted in deterministic order: grid axes vary in declaration
-order (first axis slowest), algorithms cycle innermost. Seeds replicate
-each cell and are aggregated (mean cost/acceptance, worst certified
-ratio) — the same statistics the sweeps module always reported.
+Cells are emitted in deterministic order: workloads vary slowest, then
+grid axes in declaration order, algorithms cycle innermost. Seeds
+replicate each cell and are aggregated (mean cost/acceptance, worst
+certified ratio) — the same statistics the sweeps module always
+reported.
 """
 
 from __future__ import annotations
@@ -46,10 +60,11 @@ FamilyFn = Callable[..., Instance]
 
 #: Grid/variant axis names that would collide with the keywords
 #: :meth:`ExperimentSpec.requests` itself passes to the family call
-#: (``family(n, seed=..., **params)``). Rejected up front with a clear
-#: error instead of dying with an opaque ``TypeError`` deep in the
-#: request compiler; replication knobs have dedicated spec fields.
-RESERVED_AXIS_NAMES = frozenset({"n", "seed"})
+#: (``family(n, seed=..., **params)``) or with the cell labels the
+#: workload axis injects. Rejected up front with a clear error instead
+#: of dying with an opaque ``TypeError`` deep in the request compiler;
+#: replication knobs have dedicated spec fields.
+RESERVED_AXIS_NAMES = frozenset({"n", "seed", "workload"})
 
 
 def _grid_cells(axes: Sequence[tuple[str, Sequence[Any]]]) -> list[dict[str, Any]]:
@@ -81,23 +96,33 @@ def _worst_ratio(values: Sequence[float]) -> float:
 
 
 def resolve_family(family: str | FamilyFn) -> FamilyFn:
-    """A workload family by name (or pass a callable through).
+    """A workload family by name or parameterized spec (or a callable).
 
-    Named families come from :func:`repro.workloads.named_families` —
-    the same table the CLI ``generate`` subcommand offers.
+    Named families resolve through the workload registry
+    (:data:`repro.workloads.registry.WORKLOADS`) — the same table the
+    CLI ``generate`` subcommand offers. A parameterized spec
+    (``"heavy-tail?pareto_shape=2.0"``) resolves to the base generator
+    with those knobs bound; ``n`` and ``seed`` may not be pinned here
+    because the spec fields (``n=``, ``seeds=``) own them — pin them on
+    a ``workloads=`` axis entry instead, where per-workload replication
+    is well defined.
     """
     if callable(family):
         return family
-    from .. import workloads
+    from ..workloads.registry import WORKLOADS
 
-    families = workloads.named_families()
-    try:
-        return families[family]
-    except KeyError:
+    info = WORKLOADS.info(family)
+    if "n" in info.params or "seed" in info.params:
         raise InvalidParameterError(
-            f"unknown workload family {family!r}; "
-            f"available: {', '.join(sorted(families))}"
-        ) from None
+            f"workload spec {family!r} pins n/seed, but in the family= "
+            "slot those are controlled by the spec fields (n=, seeds=); "
+            "drop them here or move the spec to the workloads= axis"
+        )
+    if not info.params:
+        return info.generator
+    # The bound method already folds the pinned parameters in (and
+    # raises on clashes) with the family-call signature.
+    return info.build
 
 
 @dataclass(frozen=True)
@@ -115,8 +140,19 @@ class ExperimentCell:
 
 
 @dataclass(frozen=True)
+class _WorkloadPlan:
+    """One resolved ``workloads=`` axis entry, ready to generate from."""
+
+    label: str
+    generator: FamilyFn = field(repr=False)
+    n: int
+    seeds: tuple[int, ...]
+    kwargs: Mapping[str, Any]
+
+
+@dataclass(frozen=True)
 class ExperimentSpec:
-    """A declarative experiment over a workload family or fixed instance.
+    """A declarative experiment over workloads or a fixed instance.
 
     Parameters
     ----------
@@ -138,13 +174,23 @@ class ExperimentSpec:
         cache key through the variant name).
     family:
         Workload generator — a callable ``(n, *, m, alpha, seed,
-        **kwargs)`` or a :func:`repro.workloads.named_families` name.
-        Mutually exclusive with ``base_instance``.
+        **kwargs)``, a registry name, or a parameterized spec (see
+        :func:`resolve_family`). Mutually exclusive with
+        ``base_instance`` and ``workloads``.
     base_instance:
         A fixed job set re-run across the grid (only ``m`` / ``alpha`` /
         ``value_x`` axes make sense then); seeds are ignored.
+    workloads:
+        The *workload axis*: registry specs
+        (``["poisson", "heavy-tail?n=64&alpha=3.0"]``), each swept over
+        the full grid and labeling its cells with the canonical spec
+        name (``params["workload"]``). A spec may pin ``n`` (overriding
+        ``n=`` for that workload) and ``seed`` (collapsing that
+        workload's replicates to the pinned seed); its other knobs
+        override ``family_kwargs`` and may not collide with grid axes.
+        Mutually exclusive with ``family`` and ``base_instance``.
     n, seeds, family_kwargs:
-        Forwarded to the family; each cell is replicated per seed.
+        Forwarded to the generator; each cell is replicated per seed.
     transform:
         Optional hook ``(instance, params) -> instance`` applied after
         generation — for derived axes no named parameter covers.
@@ -156,6 +202,7 @@ class ExperimentSpec:
     variants: Mapping[str, Sequence[Any]] = field(default_factory=dict)
     family: str | FamilyFn | None = None
     base_instance: Instance | None = None
+    workloads: Sequence[str] = ()
     n: int = 20
     seeds: Sequence[int] = (0, 1, 2)
     family_kwargs: Mapping[str, Any] = field(default_factory=dict)
@@ -163,23 +210,39 @@ class ExperimentSpec:
     skip_incapable: bool = False
 
     def __post_init__(self) -> None:
-        if (self.family is None) == (self.base_instance is None):
+        sources = sum(
+            1
+            for provided in (
+                self.family is not None,
+                self.base_instance is not None,
+                bool(self.workloads),
+            )
+            if provided
+        )
+        if sources != 1:
             raise InvalidParameterError(
-                "specify exactly one of family= or base_instance="
+                "specify exactly one of family=, base_instance=, or "
+                "workloads="
             )
         if not self.algorithms:
             raise InvalidParameterError("need at least one algorithm")
-        if self.family is not None and not list(self.seeds):
+        if self.base_instance is None and not list(self.seeds):
             raise InvalidParameterError("need at least one seed")
+        for entry in self.workloads:
+            if not isinstance(entry, str):
+                raise InvalidParameterError(
+                    f"workloads= entries must be registry spec strings, "
+                    f"got {entry!r}; pass a callable via family= instead"
+                )
         for axis in ("grid", "variants"):
             mapping = getattr(self, axis)
             reserved = RESERVED_AXIS_NAMES.intersection(mapping)
             if reserved:
                 raise InvalidParameterError(
                     f"reserved {axis} axis name(s) {sorted(reserved)}: "
-                    "'n' and 'seed' are spec fields (n=, seeds=), not "
-                    "sweepable axes — the family call would receive them "
-                    "twice"
+                    "'n' and 'seed' are spec fields (n=, seeds=) and "
+                    "'workload' labels the workloads= axis — none are "
+                    "sweepable axes"
                 )
             empty = [key for key, values in mapping.items() if not list(values)]
             if empty:
@@ -245,7 +308,76 @@ class ExperimentSpec:
                 out.append(canonical)
         return out
 
-    def _build_instance(self, params: Mapping[str, Any], seed: int | None) -> Instance:
+    def workload_plans(self) -> list[_WorkloadPlan]:
+        """Resolve the ``workloads=`` axis entries, loudly.
+
+        Every entry resolves through the workload registry to its
+        canonical name (so spelling variants label — and cache — as one
+        workload); pinned ``n``/``seed`` values are split out from the
+        generator knobs; a knob that is also a grid axis is rejected
+        (the generator would receive it twice with conflicting values).
+        Duplicate canonical names are an error, symmetric to the
+        duplicate check on the algorithm × variant list.
+        """
+        from ..workloads.registry import WORKLOADS
+
+        plans: list[_WorkloadPlan] = []
+        seen: set[str] = set()
+        for entry in self.workloads:
+            info = WORKLOADS.info(entry)
+            if info.name in seen:
+                raise InvalidParameterError(
+                    f"workload {info.name!r} appears more than once on the "
+                    "workloads= axis; duplicates would double-count cells"
+                )
+            seen.add(info.name)
+            kwargs = dict(info.params)
+            n = kwargs.pop("n", self.n)
+            pinned_seed = kwargs.pop("seed", None)
+            clashes = set(kwargs).intersection(self.grid)
+            if clashes:
+                raise InvalidParameterError(
+                    f"workload {entry!r} pins {sorted(clashes)}, which are "
+                    "also grid axes; the generator would receive them twice"
+                )
+            # Every grid axis and spec-level family kwarg must be a knob
+            # this family accepts — the registry's parameter table makes
+            # that checkable up front, instead of a TypeError deep
+            # inside generation (one kwargs dict applies to N
+            # heterogeneous families here).
+            unknown = (
+                (set(self.grid) | set(self.family_kwargs))
+                - {"value_x"}
+                - set(info.spec_params)
+            )
+            if unknown:
+                raise InvalidParameterError(
+                    f"grid axis(es)/family kwarg(s) {sorted(unknown)} are "
+                    f"not parameters of workload {info.base!r}; accepted: "
+                    f"{', '.join(sorted(info.spec_params))}"
+                )
+            seeds = (
+                (pinned_seed,)
+                if "seed" in info.params
+                else tuple(self.seeds)
+            )
+            plans.append(
+                _WorkloadPlan(
+                    label=info.name,
+                    generator=info.generator,
+                    n=n,
+                    seeds=seeds,
+                    kwargs=kwargs,
+                )
+            )
+        return plans
+
+    def _build_instance(
+        self,
+        params: Mapping[str, Any],
+        seed: int | None,
+        plan: _WorkloadPlan | None = None,
+    ) -> Instance:
         value_x = params.get("value_x")
         family_params = {
             k: v for k, v in params.items() if k != "value_x"
@@ -261,6 +393,11 @@ class ExperimentSpec:
                 )
             if m is not None or alpha is not None:
                 inst = inst.with_machine(m=m, alpha=alpha)
+        elif plan is not None:
+            # Workload-axis cell: the spec's pinned knobs override the
+            # spec-level family_kwargs; grid axes were checked disjoint.
+            kwargs = {**self.family_kwargs, **plan.kwargs, **family_params}
+            inst = plan.generator(plan.n, seed=seed, **kwargs)
         else:
             family = resolve_family(self.family)
             kwargs = dict(self.family_kwargs)
@@ -275,6 +412,12 @@ class ExperimentSpec:
     def requests(self) -> list[RunRequest]:
         """Compile the spec to the flat batch-request list.
 
+        Deterministic order: workloads slowest (when the axis is used),
+        then grid cells in declaration order, seeds, algorithms
+        innermost. ``tag["cell"]`` enumerates (workload × grid cell)
+        combinations, so aggregation groups workload-axis runs without
+        any special casing.
+
         With ``skip_incapable=True``, (algorithm × cell) pairs the
         algorithm's registry capabilities rule out (today: ``m > 1`` for
         a single-processor algorithm) are dropped instead of raising —
@@ -283,9 +426,6 @@ class ExperimentSpec:
         """
         from .registry import REGISTRY
 
-        seeds: Sequence[int | None] = (
-            [None] if self.base_instance is not None else list(self.seeds)
-        )
         # Resolve once per effective algorithm: the canonical name labels
         # the request, and the registry's parsed parameters become the
         # variant tag — so inline specs and axis-built ones aggregate
@@ -294,21 +434,38 @@ class ExperimentSpec:
             (info.name, dict(info.params), info.multiprocessor)
             for info in map(REGISTRY.info, self.algorithm_names())
         ]
+        plans: Sequence[_WorkloadPlan | None] = (
+            self.workload_plans() if self.workloads else [None]
+        )
+        base_seeds: Sequence[int | None] = (
+            [None] if self.base_instance is not None else list(self.seeds)
+        )
         out: list[RunRequest] = []
-        for cell_index, params in enumerate(self.cells()):
-            for seed in seeds:
-                inst = self._build_instance(params, seed)
-                for algorithm, variant, multiprocessor in algorithms:
-                    if self.skip_incapable and inst.m > 1 and not multiprocessor:
-                        continue
-                    tag = {
-                        "cell": cell_index,
-                        "params": dict(params),
-                        "variant": variant,
-                        "seed": seed,
-                        "experiment": self.name,
-                    }
-                    out.append(RunRequest(algorithm, inst, tag=tag))
+        cell_id = 0
+        for plan in plans:
+            seeds = plan.seeds if plan is not None else base_seeds
+            for params in self.cells():
+                for seed in seeds:
+                    inst = self._build_instance(params, seed, plan)
+                    for algorithm, variant, multiprocessor in algorithms:
+                        if (
+                            self.skip_incapable
+                            and inst.m > 1
+                            and not multiprocessor
+                        ):
+                            continue
+                        cell_params = dict(params)
+                        if plan is not None:
+                            cell_params = {"workload": plan.label, **cell_params}
+                        tag = {
+                            "cell": cell_id,
+                            "params": cell_params,
+                            "variant": variant,
+                            "seed": seed,
+                            "experiment": self.name,
+                        }
+                        out.append(RunRequest(algorithm, inst, tag=tag))
+                cell_id += 1
         return out
 
 
@@ -364,13 +521,21 @@ def aggregate_records(records: Sequence[RunRecord]) -> list[ExperimentCell]:
 
 
 def run_experiment(
-    spec: ExperimentSpec, runner: BatchRunner | None = None
+    spec: ExperimentSpec,
+    runner: BatchRunner | None = None,
+    *,
+    progress: Callable[[RunRecord, int, int], None] | None = None,
 ) -> list[ExperimentCell]:
     """Execute a spec and aggregate per-(cell, algorithm) statistics.
 
     Cell order is the spec's deterministic grid order with one entry per
     (algorithm × variant); each entry aggregates that cell's seed
     replicates.
+
+    ``progress(record, done, total)`` (if given) fires once per record
+    in completion order as the runner streams results — the CLI's
+    ``--progress`` ticker and any dashboard hook in here without
+    changing what the function returns.
     """
     runner = runner or BatchRunner()
-    return aggregate_records(runner.run(spec.requests()))
+    return aggregate_records(runner.run(spec.requests(), on_record=progress))

@@ -1,23 +1,31 @@
-"""Parallel batch execution of (algorithm × instance) grids.
+"""Streaming batch execution of (algorithm × instance) grids.
 
 The shape every experiment in this library shares — "run these
 algorithms on these instances and collect per-cell summaries" — lives
-here, once. A :class:`BatchRunner` takes a list of :class:`RunRequest`
-cells and returns one :class:`RunRecord` per cell, **in request order**
-regardless of completion order, evaluated either serially
-(``workers=1``) or on a ``ProcessPoolExecutor``.
+here, once. The core is a *streaming* generator:
+:meth:`BatchRunner.iter_records` yields one ``(index, record)`` pair per
+:class:`RunRequest` cell **as results complete** (cache hits first, then
+pool futures in completion order), so callers can render progress, feed
+dashboards, or bail early on very large grids without holding every
+record in memory. :meth:`BatchRunner.run` is a thin collecting wrapper
+that reorders the stream back into **request order** — byte-identical to
+the records the historical eager implementation returned.
 
 Records are plain JSON-able measurements (cost, energy, acceptance,
-certified ratio, the full serialized schedule), which buys two
-properties at once:
+certified ratio, per-cell wall time, the full serialized schedule),
+which buys two properties at once:
 
 * **parallel == serial**: worker processes ship back the exact payload a
   serial run would produce, so results are bit-identical whatever the
-  worker count;
+  worker count (``wall_time`` is the one measured, non-deterministic
+  field; it is excluded from record equality);
 * **cacheable**: the same payload is what the content-addressed
   :class:`~repro.engine.cache.ResultCache` stores, so a cache hit is
   indistinguishable from a fresh run (and a warm sweep recomputes
-  nothing — only changed cells miss).
+  nothing — only changed cells miss). The stored wall time is the
+  *original* measured cost of the cell, which is what feeds the
+  measured-cost shard scheduler (:func:`shard_assignment` with
+  ``strategy="lpt"`` over :meth:`BatchRunner.estimate_costs`).
 
 The certified ratio is filled for exactly the algorithms whose registry
 entry declares the ``certificate-producing`` capability; other cells
@@ -26,11 +34,13 @@ carry ``NaN`` there, never a fake number.
 
 from __future__ import annotations
 
+import heapq
 import math
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from ..errors import InvalidParameterError
 from ..io.serialize import (
@@ -51,6 +61,7 @@ __all__ = [
     "request_key",
     "evaluate_request",
     "merge_shards",
+    "shard_assignment",
     "shard_requests",
     "record_to_payload",
     "record_from_payload",
@@ -58,7 +69,11 @@ __all__ = [
 
 #: Bumped whenever the record payload changes shape, so stale cache
 #: entries from an older build miss instead of deserializing wrongly.
-RECORD_VERSION = 1
+#: (2: added the measured ``wall_time`` field.)
+RECORD_VERSION = 2
+
+#: Shard-scheduling strategies :func:`shard_assignment` understands.
+SHARD_STRATEGIES = ("rr", "lpt")
 
 
 @dataclass(frozen=True)
@@ -86,6 +101,13 @@ class RunRecord:
     record was served without a fresh evaluation for this request —
     from the on-disk result cache, or from an identical cell earlier in
     the same batch.
+
+    ``wall_time`` is the measured evaluation cost of the cell in
+    seconds. A cached record carries the time of the *original*
+    computation (that is what the LPT shard scheduler wants), and the
+    field is excluded from equality/comparison — it is a measurement of
+    the machine, not of the algorithm, so two otherwise-identical
+    records still compare equal.
     """
 
     algorithm: str
@@ -99,6 +121,7 @@ class RunRecord:
     key: str = ""
     cached: bool = False
     tag: Mapping[str, Any] | None = None
+    wall_time: float = field(default=math.nan, compare=False)
 
     @property
     def finished(self) -> tuple[bool, ...]:
@@ -113,9 +136,11 @@ def request_key(algorithm: str, instance: Instance) -> str:
     Variant specs are resolved through the registry first, so every
     spelling of the same variant (``pd?delta=0.05`` / ``pd?delta=5e-2``)
     keys identically, and a parameter that changes results always
-    changes the key. Base entries keep their historical key (the
-    ``params`` field is only present for variants), so existing caches
-    stay warm.
+    changes the key. Base entries and variants share one key *scheme*
+    (the ``params`` field is only present for variants), but every key
+    also folds in :data:`RECORD_VERSION` — so a payload-shape bump
+    (such as the one that added ``wall_time``) deliberately cold-starts
+    existing caches rather than serving records an older build wrote.
     """
     info = REGISTRY.info(algorithm)
     payload = {
@@ -136,14 +161,20 @@ def evaluate_request(request: RunRequest) -> dict[str, Any]:
     Module-level (not a method) so worker processes can unpickle it by
     name; called identically by the serial path, which is what makes
     ``workers=1`` and ``workers=N`` byte-for-byte interchangeable.
+
+    The measured ``wall_time`` covers the algorithm run *and* its
+    certificate evaluation — the full cost of the cell, which is what a
+    cost-aware scheduler needs to balance.
     """
     info = REGISTRY.info(request.algorithm)
+    start = time.perf_counter()
     outcome = REGISTRY.run(request.algorithm, request.instance)
     ratio = g = math.nan
     if info.certificate is not None:
         cert = info.certificate(outcome.raw)
         ratio = float(cert.ratio)
         g = float(cert.g)
+    elapsed = time.perf_counter() - start
     schedule = outcome.schedule
     return {
         "kind": "run-record",
@@ -159,6 +190,7 @@ def evaluate_request(request: RunRequest) -> dict[str, Any]:
         "certified_ratio": ratio,
         "dual_g": g,
         "schedule": schedule_to_dict(schedule),
+        "wall_time": elapsed,
     }
 
 
@@ -177,15 +209,16 @@ def _record_from_payload(
         key=key,
         cached=cached,
         tag=tag,
+        wall_time=float(payload.get("wall_time", math.nan)),
     )
 
 
 def record_to_payload(record: RunRecord) -> dict[str, Any]:
     """Serialize a record (shard files, archival) — JSON-able, lossless.
 
-    ``certified_ratio`` / ``dual_g`` may be ``NaN``; the payload is
-    meant for :func:`json.dump` with the default (Python-dialect)
-    ``allow_nan=True``, which round-trips them.
+    ``certified_ratio`` / ``dual_g`` / ``wall_time`` may be ``NaN``; the
+    payload is meant for :func:`json.dump` with the default
+    (Python-dialect) ``allow_nan=True``, which round-trips them.
     """
     return {
         "kind": "run-record",
@@ -202,14 +235,50 @@ def record_to_payload(record: RunRecord) -> dict[str, Any]:
         "key": record.key,
         "cached": record.cached,
         "tag": dict(record.tag) if record.tag is not None else None,
+        "wall_time": record.wall_time,
     }
 
 
+#: Every key :func:`record_to_payload` emits — the full vocabulary of a
+#: record payload. :func:`record_from_payload` rejects anything else:
+#: an unknown key means the payload came from a different build (or was
+#: hand-edited), and silently dropping it would quietly lose data.
+_RECORD_PAYLOAD_KEYS = frozenset({
+    "kind",
+    "schema",
+    "record",
+    "algorithm",
+    "cost",
+    "energy",
+    "lost_value",
+    "acceptance",
+    "certified_ratio",
+    "dual_g",
+    "schedule",
+    "key",
+    "cached",
+    "tag",
+    "wall_time",
+})
+
+
 def record_from_payload(payload: dict[str, Any]) -> RunRecord:
-    """Inverse of :func:`record_to_payload`, with version validation."""
+    """Inverse of :func:`record_to_payload`, with version validation.
+
+    Unknown keys raise a clear :class:`~repro.errors.ReproError`
+    (rather than being silently dropped), and the measured ``wall_time``
+    round-trips losslessly.
+    """
     if payload.get("kind") != "run-record":
         raise InvalidParameterError(
             f"expected a 'run-record' payload, got {payload.get('kind')!r}"
+        )
+    unknown = set(payload) - _RECORD_PAYLOAD_KEYS
+    if unknown:
+        raise InvalidParameterError(
+            f"unknown record payload key(s) {sorted(unknown)}; this build "
+            f"understands exactly {sorted(_RECORD_PAYLOAD_KEYS)} — refusing "
+            "to silently drop data from a different build"
         )
     if (
         payload.get("schema") != SCHEMA_VERSION
@@ -246,44 +315,146 @@ def _check_shard(shard: tuple[int, int]) -> tuple[int, int]:
     return index, count
 
 
+def shard_assignment(
+    total: int,
+    count: int,
+    *,
+    strategy: str = "rr",
+    costs: Sequence[float] | None = None,
+) -> list[int]:
+    """Owning shard index for each of ``total`` request positions.
+
+    Two strategies, both pure functions of their inputs — any machine
+    holding the same request list (and, for LPT, the same cost vector)
+    derives the same split with no coordination:
+
+    * ``"rr"`` (default) — positional round-robin: position ``p`` goes
+      to shard ``p % count``. Cost-oblivious, byte-compatible with the
+      historical split, balanced whenever cost trends along the grid.
+    * ``"lpt"`` — longest-processing-time balancing over *measured*
+      costs (seconds, from :meth:`BatchRunner.estimate_costs` or any
+      other source): positions are taken in decreasing cost order and
+      each goes to the currently least-loaded shard (ties broken by
+      lowest shard index, equal costs by lowest position — fully
+      deterministic). The classic 4/3-approximation to the optimal
+      makespan, which matters when a grid mixes second-long exact-solver
+      cells with millisecond heuristic cells.
+
+    ``costs`` is optional for LPT (missing → all cells weigh 1.0, which
+    still balances counts); non-finite or negative entries are rejected
+    loudly rather than silently skewing the schedule.
+    """
+    if not isinstance(count, int) or count < 1:
+        raise InvalidParameterError(f"shard count must be an int >= 1, got {count!r}")
+    if strategy == "rr":
+        return [position % count for position in range(total)]
+    if strategy != "lpt":
+        raise InvalidParameterError(
+            f"unknown shard strategy {strategy!r}; "
+            f"available: {', '.join(SHARD_STRATEGIES)}"
+        )
+    if costs is None:
+        costs = [1.0] * total
+    if len(costs) != total:
+        raise InvalidParameterError(
+            f"need one cost per request: got {len(costs)} costs "
+            f"for {total} requests"
+        )
+    weights = [float(cost) for cost in costs]
+    bad = [c for c in weights if not math.isfinite(c) or c < 0.0]
+    if bad:
+        raise InvalidParameterError(
+            f"LPT costs must be finite and >= 0, got {bad[:3]}"
+        )
+    assignment = [0] * total
+    loads = [(0.0, shard) for shard in range(count)]  # already a valid heap
+    for position in sorted(range(total), key=lambda p: (-weights[p], p)):
+        load, shard = heapq.heappop(loads)
+        assignment[position] = shard
+        heapq.heappush(loads, (load + weights[position], shard))
+    return assignment
+
+
 def shard_requests(
-    requests: Sequence[RunRequest], shard: tuple[int, int]
+    requests: Sequence[RunRequest],
+    shard: tuple[int, int],
+    *,
+    strategy: str = "rr",
+    costs: Sequence[float] | None = None,
 ) -> list[RunRequest]:
     """The deterministic subset of ``requests`` owned by one shard.
 
-    Shard ``(i, k)`` owns positions ``i, i+k, i+2k, ...`` of the
-    request list — a pure function of position, so any machine that can
-    enumerate the same request list (the point of declarative specs)
-    agrees on the split without coordination, and round-robin keeps the
-    shards balanced even when cost correlates with grid position.
+    The split is computed by :func:`shard_assignment` — positional
+    round-robin by default (shard ``(i, k)`` owns positions
+    ``i, i+k, i+2k, ...``), or measured-cost LPT balancing with
+    ``strategy="lpt"``. Either way membership is a pure function of the
+    request list (and cost vector), so machines agree on the split
+    without coordination.
     """
     index, count = _check_shard(shard)
-    return list(requests[index::count])
+    assignment = shard_assignment(
+        len(requests), count, strategy=strategy, costs=costs
+    )
+    return [
+        request
+        for position, request in enumerate(requests)
+        if assignment[position] == index
+    ]
 
 
-def merge_shards(shards: Sequence[Sequence[RunRecord]]) -> list[RunRecord]:
+def merge_shards(
+    shards: Sequence[Sequence[RunRecord]],
+    *,
+    assignment: Sequence[int] | None = None,
+) -> list[RunRecord]:
     """Recombine per-shard record lists into full-run request order.
 
     ``shards[i]`` must be the records of shard ``(i, len(shards))`` over
     one common request list; the result is exactly what an unsharded
-    ``run`` of that list returns. Shapes are validated (shard ``i`` of
-    ``k`` owns ``ceil((n - i) / k)`` positions), so passing shards from
-    different sweeps, a missing shard, or a wrong order fails loudly
-    instead of silently interleaving garbage.
+    ``run`` of that list returns. Without ``assignment`` the split is
+    assumed round-robin and shapes are validated (shard ``i`` of ``k``
+    owns ``ceil((n - i) / k)`` positions); with an ``assignment`` (the
+    :func:`shard_assignment` vector the shards were cut with — e.g. an
+    LPT schedule) records are stitched back by position. Either way,
+    passing shards from different sweeps, a missing shard, or a wrong
+    order fails loudly instead of silently interleaving garbage.
     """
     count = len(shards)
     if count == 0:
         raise InvalidParameterError("need at least one shard to merge")
     total = sum(len(s) for s in shards)
-    for index, records in enumerate(shards):
-        expected = (total - index + count - 1) // count
-        if len(records) != expected:
+    if assignment is None:
+        for index, records in enumerate(shards):
+            expected = (total - index + count - 1) // count
+            if len(records) != expected:
+                raise InvalidParameterError(
+                    f"shard {index}/{count} has {len(records)} records, "
+                    f"expected {expected} of {total} total — shards are "
+                    "incomplete, duplicated, or from different request lists"
+                )
+        return [shards[pos % count][pos // count] for pos in range(total)]
+    if len(assignment) != total:
+        raise InvalidParameterError(
+            f"assignment covers {len(assignment)} positions but the shards "
+            f"hold {total} records"
+        )
+    owned = [0] * count
+    for shard in assignment:
+        if not isinstance(shard, int) or not 0 <= shard < count:
             raise InvalidParameterError(
-                f"shard {index}/{count} has {len(records)} records, "
-                f"expected {expected} of {total} total — shards are "
-                "incomplete, duplicated, or from different request lists"
+                f"assignment names shard {shard!r} but only {count} "
+                "shard record lists were given"
             )
-    return [shards[pos % count][pos // count] for pos in range(total)]
+        owned[shard] += 1
+    for index, records in enumerate(shards):
+        if len(records) != owned[index]:
+            raise InvalidParameterError(
+                f"shard {index}/{count} has {len(records)} records but the "
+                f"assignment gives it {owned[index]} — shards and assignment "
+                "are from different runs"
+            )
+    cursors = [iter(records) for records in shards]
+    return [next(cursors[shard]) for shard in assignment]
 
 
 @dataclass
@@ -350,83 +521,180 @@ class BatchRunner:
         """Convenience wrapper: evaluate a single cell."""
         return self.run([RunRequest(algorithm, instance)])[0]
 
+    def iter_records(
+        self, requests: Sequence[RunRequest]
+    ) -> Iterator[tuple[int, RunRecord]]:
+        """Yield ``(index, record)`` pairs in **completion order**.
+
+        The streaming core every other entry point wraps. ``index`` is
+        the request's position in ``requests``. Cache hits stream first
+        (they are complete before any work starts), then freshly
+        computed cells as they finish — serially in request order for
+        ``workers=1``, in pool completion order otherwise. Duplicate
+        cells (same algorithm + instance content) are computed once;
+        when their payload lands, every requesting position is yielded,
+        the lowest marked fresh and the rest ``cached`` (in-batch
+        deduplication, exactly the eager semantics).
+
+        Each record is yielded exactly once; fully consuming the stream
+        and sorting by ``index`` reproduces :meth:`run`'s output.
+        """
+        requests = list(requests)
+        keys = [request_key(r.algorithm, r.instance) for r in requests]
+
+        # Positions per unique cell, ascending (ascending order is what
+        # makes "first occurrence is the computation" reproducible).
+        positions: dict[str, list[int]] = {}
+        for index, key in enumerate(keys):
+            positions.setdefault(key, []).append(index)
+
+        # Stream cache hits as they are fetched — each payload (which
+        # carries a full serialized schedule) is yielded and released
+        # before the next is read, so a warm sweep's peak memory is one
+        # payload, not the whole grid.
+        hit_keys: set[str] = set()
+        if self.cache is not None:
+            for key, indexes in positions.items():
+                payload = self.cache.get(key)
+                if payload is None:
+                    continue
+                hit_keys.add(key)
+                for index in indexes:
+                    self.stats.cache_hits += 1
+                    yield index, _record_from_payload(
+                        payload, key=key, cached=True, tag=requests[index].tag
+                    )
+
+        # Unique cells still to compute, in first-appearance order.
+        pending = [
+            (key, requests[indexes[0]])
+            for key, indexes in positions.items()
+            if key not in hit_keys
+        ]
+
+        def deliver(
+            key: str, payload: dict[str, Any]
+        ) -> Iterator[tuple[int, RunRecord]]:
+            self.stats.computed += 1
+            if self.cache is not None:
+                self.cache.put(key, payload)
+            for order, index in enumerate(positions[key]):
+                cached = order > 0
+                if cached:
+                    self.stats.deduplicated += 1
+                yield index, _record_from_payload(
+                    payload,
+                    key=key,
+                    cached=cached,
+                    tag=requests[index].tag,
+                )
+
+        if not pending:
+            return
+        if self.workers == 1 or len(pending) == 1:
+            for key, request in pending:
+                yield from deliver(key, evaluate_request(request))
+        else:
+            pool = ProcessPoolExecutor(max_workers=self.workers)
+            try:
+                futures = {
+                    pool.submit(evaluate_request, request): key
+                    for key, request in pending
+                }
+                for future in as_completed(futures):
+                    yield from deliver(futures[future], future.result())
+            finally:
+                # Reached on exhaustion, on a worker exception, and on
+                # GeneratorExit when the consumer abandons the stream
+                # early: cancel queued cells instead of silently
+                # computing-and-discarding the rest of the grid.
+                pool.shutdown(wait=False, cancel_futures=True)
+
     def run(
         self,
         requests: Sequence[RunRequest],
         *,
         shard: tuple[int, int] | None = None,
+        strategy: str = "rr",
+        costs: Sequence[float] | None = None,
+        on_record: Callable[[RunRecord, int, int], None] | None = None,
     ) -> list[RunRecord]:
         """Evaluate all cells; results are in request order.
 
-        Duplicate cells (same algorithm + instance content) are computed
-        once and fanned back out to every requesting position.
+        A thin collecting wrapper over :meth:`iter_records`: the stream
+        arrives in completion order and is reordered back to request
+        order, so the returned list is byte-identical to the historical
+        eager implementation whatever the worker count or cache state.
+
+        ``on_record(record, done, total)`` (if given) fires once per
+        record *in completion order* as results land — progress bars and
+        live dashboards hook in here without giving up the ordered
+        return value.
 
         ``shard=(i, k)`` evaluates only the deterministic ``i``-th of
-        ``k`` slices of the request list (see :func:`shard_requests`)
-        and returns that slice's records; :func:`merge_shards`
-        recombines the ``k`` slices into the unsharded result, so a
-        grid can be split across machines and recombined into
-        bit-identical measurements. (Only the ``cached`` bookkeeping
-        flag can differ, since it reflects each shard's own cache
-        state.)
+        ``k`` slices of the request list (see :func:`shard_requests`;
+        ``strategy``/``costs`` select and parameterize the split, with
+        measured-cost LPT balancing under ``strategy="lpt"``) and
+        returns that slice's records; :func:`merge_shards` recombines
+        the ``k`` slices into the unsharded result, so a grid can be
+        split across machines and recombined into bit-identical
+        measurements. (Only the ``cached`` bookkeeping flag can differ,
+        since it reflects each shard's own cache state.)
         """
         requests = (
-            list(requests) if shard is None else shard_requests(requests, shard)
+            list(requests)
+            if shard is None
+            else shard_requests(requests, shard, strategy=strategy, costs=costs)
         )
-        keys = [request_key(r.algorithm, r.instance) for r in requests]
+        total = len(requests)
+        records: list[RunRecord | None] = [None] * total
+        done = 0
+        for index, record in self.iter_records(requests):
+            records[index] = record
+            done += 1
+            if on_record is not None:
+                on_record(record, done, total)
+        return records  # type: ignore[return-value]  # every slot filled
 
-        payloads: dict[str, dict[str, Any]] = {}
-        fresh: set[str] = set()
-        if self.cache is not None:
-            for key in keys:
-                if key not in payloads:
-                    hit = self.cache.get(key)
-                    if hit is not None:
-                        payloads[key] = hit
+    def estimate_costs(
+        self, requests: Sequence[RunRequest], *, default: float = 1.0
+    ) -> list[float]:
+        """Per-request cost estimates (seconds) from prior cached runs.
 
-        # Unique cells still to compute, in first-appearance order.
-        pending: list[tuple[str, RunRequest]] = []
-        seen: set[str] = set(payloads)
-        for key, request in zip(keys, requests):
-            if key not in seen:
-                seen.add(key)
-                pending.append((key, request))
-
-        if pending:
-            if self.workers == 1 or len(pending) == 1:
-                computed = [evaluate_request(r) for _, r in pending]
-            else:
-                with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                    computed = list(
-                        pool.map(evaluate_request, [r for _, r in pending])
+        Reads the measured ``wall_time`` each request's payload stored
+        in the cache backend — any :class:`~repro.engine.cache.
+        CacheBackend` works, which is how a warm sweep's timings become
+        the next sweep's LPT schedule. A backend exposing ``get_timing``
+        (the :class:`~repro.engine.cache.SqliteCache` column fast path)
+        answers without parsing full payloads. Requests with no cached
+        timing (or a timing from a build that predates measurement)
+        estimate at ``default``, so a cold cache degrades to count
+        balancing rather than failing.
+        """
+        if self.cache is None:
+            return [float(default)] * len(requests)
+        probe = getattr(self.cache, "get_timing", None)
+        estimates = []
+        memo: dict[str, float] = {}  # duplicate cells share one lookup
+        for request in requests:
+            key = request_key(request.algorithm, request.instance)
+            estimate = memo.get(key)
+            if estimate is None:
+                if probe is not None:
+                    cost = probe(key)
+                else:
+                    payload = self.cache.get(key)
+                    cost = (
+                        payload.get("wall_time") if payload is not None else None
                     )
-            for (key, _), payload in zip(pending, computed):
-                payloads[key] = payload
-                fresh.add(key)
-                if self.cache is not None:
-                    self.cache.put(key, payload)
-
-        # Work accounting: one computation per distinct evaluated cell;
-        # every other request was served either from the on-disk cache
-        # or by repeating an in-batch duplicate.
-        self.stats.computed += len(pending)
-
-        records = []
-        delivered_fresh: set[str] = set()
-        for key, request in zip(keys, requests):
-            if key in fresh:
-                # Freshly evaluated this batch: the first occurrence is
-                # the computation, later ones are in-batch duplicates.
-                cached = key in delivered_fresh
-                if cached:
-                    self.stats.deduplicated += 1
-                delivered_fresh.add(key)
-            else:
-                cached = True
-                self.stats.cache_hits += 1
-            records.append(
-                _record_from_payload(
-                    payloads[key], key=key, cached=cached, tag=request.tag
-                )
-            )
-        return records
+                if (
+                    cost is None
+                    or not math.isfinite(float(cost))
+                    or float(cost) < 0.0
+                ):
+                    estimate = float(default)
+                else:
+                    estimate = float(cost)
+                memo[key] = estimate
+            estimates.append(estimate)
+        return estimates

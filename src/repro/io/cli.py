@@ -22,14 +22,18 @@ Subcommands
     Hill-climb for hard instances and report the hardest certified ratio.
 ``sweep``
     Declarative parameter sweep on the experiment engine: an
-    (alpha × m × value-multiplier) grid over a workload family for any
-    set of registered algorithms — including parameterized variant
-    specs (``pd?delta=0.05``) and declarative variant axes
-    (``--variant delta=0.01,0.05``) — optionally parallel
-    (``--workers``), cached (``--cache`` + ``--cache-backend
-    {dir,sqlite}``), and split across machines (``--shard i/k`` to
-    compute one deterministic slice, ``--merge shard0.json shard1.json
-    ...`` to recombine slices into the exact unsharded result).
+    (alpha × m × value-multiplier) grid over one workload family — or a
+    *workload axis* (repeatable ``--workload`` specs like
+    ``heavy-tail?n=64&alpha=3.0``) — for any set of registered
+    algorithms, including parameterized variant specs (``pd?delta=0.05``)
+    and declarative variant axes (``--variant delta=0.01,0.05``).
+    Optionally parallel (``--workers``), cached (``--cache`` +
+    ``--cache-backend {dir,sqlite}``), streamed (``--progress`` prints a
+    completion-order ticker to stderr), and split across machines
+    (``--shard i/k`` to compute one deterministic slice —
+    ``--shard-strategy lpt`` balances the slices by measured per-cell
+    cost from the cache — ``--merge shard0.json shard1.json ...`` to
+    recombine slices into the exact unsharded result).
 
 The CLI is a thin shell over the library: every subcommand body is a few
 calls into the public API, which keeps it honest as documentation.
@@ -53,6 +57,7 @@ from .serialize import (
     load_json,
     save_json,
     schedule_to_dict,
+    stable_hash,
 )
 
 __all__ = ["main", "build_parser"]
@@ -151,14 +156,43 @@ def build_parser() -> argparse.ArgumentParser:
     swp = sub.add_parser(
         "sweep", help="parameter-grid sweep on the experiment engine"
     )
-    swp.add_argument("family", choices=sorted(_generators()))
+    swp.add_argument(
+        "family",
+        nargs="?",
+        default=None,
+        help=(
+            "workload family name or parameterized spec (e.g. "
+            f"heavy-tail?pareto_shape=2.0); families: "
+            f"{', '.join(sorted(_generators()))}. Omit when sweeping a "
+            "--workload axis or merging shards"
+        ),
+    )
+    swp.add_argument(
+        "--workload",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "workload-axis entry (repeatable): a registry spec like "
+            "heavy-tail?n=64&alpha=3.0, swept alongside the other "
+            "entries; replaces the positional family"
+        ),
+    )
     swp.add_argument(
         "--algorithms",
         default="pd",
         help="comma-separated registry names (default: pd)",
     )
-    swp.add_argument("--alphas", default="3.0", help="comma-separated alpha grid")
-    swp.add_argument("--ms", default="1", help="comma-separated processor counts")
+    swp.add_argument(
+        "--alphas",
+        default=None,
+        help="comma-separated alpha grid (default: 3.0)",
+    )
+    swp.add_argument(
+        "--ms",
+        default=None,
+        help="comma-separated processor counts (default: 1)",
+    )
     swp.add_argument(
         "--value-x",
         default=None,
@@ -198,6 +232,22 @@ def build_parser() -> argparse.ArgumentParser:
             "compute only the deterministic shard I of K (0-based) and "
             "write its records to --json for a later --merge"
         ),
+    )
+    swp.add_argument(
+        "--shard-strategy",
+        choices=["rr", "lpt"],
+        default="rr",
+        help=(
+            "how --shard splits the grid: positional round-robin (rr, "
+            "default) or longest-processing-time balancing over measured "
+            "per-cell costs read from --cache (lpt; cells without a "
+            "cached timing weigh 1.0)"
+        ),
+    )
+    swp.add_argument(
+        "--progress",
+        action="store_true",
+        help="print a completion-order progress ticker to stderr",
     )
     swp.add_argument(
         "--merge",
@@ -428,13 +478,22 @@ def _print_cells(experiment: str, cells) -> None:
 
 
 def _merge_shard_files(paths: Sequence[str]):
-    """Load shard record files and recombine them in shard order."""
+    """Load shard record files and recombine them in request order.
+
+    Shard files written by this build carry their owned request
+    ``positions``, so any :func:`~repro.engine.runner.shard_assignment`
+    strategy (round-robin or measured-cost LPT) merges back exactly;
+    files without positions fall back to the historical round-robin
+    interleave.
+    """
     from ..engine import record_from_payload
     from ..engine.runner import merge_shards
 
     by_index: dict[int, list] = {}
+    positions_by_index: dict[int, list | None] = {}
     experiments = set()
     counts = set()
+    assignments = set()
     for path in paths:
         payload = load_json(path)
         if payload.get("kind") != "sweep-shard":
@@ -445,15 +504,26 @@ def _merge_shard_files(paths: Sequence[str]):
         index, count = payload["shard"]
         counts.add(int(count))
         experiments.add(payload.get("experiment"))
+        if "assignment" in payload:
+            assignments.add(payload["assignment"])
         if index in by_index:
             raise InvalidParameterError(f"shard {index} given twice")
         by_index[int(index)] = [
             record_from_payload(r) for r in payload["records"]
         ]
+        positions_by_index[int(index)] = payload.get("positions")
     if len(counts) != 1 or len(experiments) != 1:
         raise InvalidParameterError(
             f"shard files disagree (experiments={sorted(map(str, experiments))}, "
             f"shard counts={sorted(counts)}); merge shards of one sweep only"
+        )
+    if len(assignments) > 1:
+        raise InvalidParameterError(
+            "shard files were cut from different shard assignments — with "
+            "--shard-strategy lpt this means the invocations read different "
+            "timing snapshots (e.g. earlier shards wrote new timings into "
+            "the shared cache). Re-cut every shard against the same frozen "
+            "cache state (a prior warm run, or a copy of the cache file)"
         )
     count = counts.pop()
     missing = sorted(set(range(count)) - set(by_index))
@@ -461,7 +531,51 @@ def _merge_shard_files(paths: Sequence[str]):
         raise InvalidParameterError(
             f"missing shard file(s) for index(es) {missing} of {count}"
         )
-    return experiments.pop(), merge_shards([by_index[i] for i in range(count)])
+    shards = [by_index[i] for i in range(count)]
+    experiment = experiments.pop()
+    if any(positions_by_index[i] is None for i in range(count)):
+        return experiment, merge_shards(shards)
+    total = sum(len(records) for records in shards)
+    assignment: list = [None] * total
+    for shard, positions in positions_by_index.items():
+        if len(positions) != len(by_index[shard]):
+            raise InvalidParameterError(
+                f"shard {shard} lists {len(positions)} positions for "
+                f"{len(by_index[shard])} records"
+            )
+        for position in positions:
+            if (
+                not isinstance(position, int)
+                or not 0 <= position < total
+                or assignment[position] is not None
+            ):
+                raise InvalidParameterError(
+                    f"shard position lists do not partition the request "
+                    f"list (bad or duplicate position {position!r})"
+                )
+            assignment[position] = shard
+    return experiment, merge_shards(shards, assignment=assignment)
+
+
+def _progress_printer(args: argparse.Namespace):
+    """The ``--progress`` ticker: one stderr line per completed record.
+
+    Completion order, not request order — that is the point: the
+    runner's streaming core reports cells the moment they land, so a
+    long sweep shows life (and per-cell cost) immediately.
+    """
+    if not args.progress:
+        return None
+
+    def progress(record, done: int, total: int) -> None:
+        note = (
+            " (cached)" if record.cached else f" {record.wall_time:.3f}s"
+        )
+        print(
+            f"[{done}/{total}] {record.algorithm}{note}", file=sys.stderr
+        )
+
+    return progress
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -471,6 +585,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         aggregate_records,
         open_cache,
         record_to_payload,
+        shard_assignment,
     )
 
     if args.shard and args.merge:
@@ -489,15 +604,31 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(f"cells written to {args.json_out}")
         return 0
 
-    grid: dict[str, list] = {
-        "alpha": _csv(args.alphas, float),
-        "m": _csv(args.ms, int),
-    }
+    if (args.family is None) == (not args.workload):
+        raise InvalidParameterError(
+            "specify a positional workload family or --workload SPEC "
+            "entries (one source, not both)"
+        )
+
+    # alpha/m become grid axes by default on the plain positional-family
+    # path (the historical grid), but only when asked for explicitly if
+    # the workload itself may pin them — a --workload axis entry or a
+    # parameterized positional spec (`heavy-tail?alpha=2.5`): a silent
+    # default axis would clash with the pin. An *explicit* --alphas/--ms
+    # against a pinned knob still fails loudly, as it should.
+    pinned: set[str] = set()
+    if args.family and "?" in args.family:
+        from ..workloads.registry import WORKLOADS
+
+        pinned = set(WORKLOADS.info(args.family).params)
+    grid: dict[str, list] = {}
+    if args.alphas is not None or (not args.workload and "alpha" not in pinned):
+        grid["alpha"] = _csv(args.alphas or "3.0", float)
+    if args.ms is not None or (not args.workload and "m" not in pinned):
+        grid["m"] = _csv(args.ms or "1", int)
     if args.value_x:
         grid["value_x"] = _csv(args.value_x, float)
-    spec = ExperimentSpec(
-        name=f"sweep:{args.family}",
-        family=args.family,
+    common = dict(
         grid=grid,
         algorithms=tuple(_csv(args.algorithms, str)),
         variants=_variant_axes(args.variant),
@@ -505,50 +636,103 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         seeds=tuple(_csv(args.seeds, int)),
         skip_incapable=True,
     )
+    if args.workload:
+        from ..workloads.registry import WORKLOADS
+
+        # Label the sweep with *canonical* spec names so every spelling
+        # of the same workload axis writes byte-identical cells JSON.
+        canonical = [WORKLOADS.info(entry).name for entry in args.workload]
+        spec = ExperimentSpec(
+            name=f"sweep:{','.join(canonical)}",
+            workloads=tuple(args.workload),
+            **common,
+        )
+    else:
+        spec = ExperimentSpec(
+            name=f"sweep:{args.family}", family=args.family, **common
+        )
     cache = (
         open_cache(args.cache, args.cache_backend)
         if args.cache is not None
         else None
     )
     runner = BatchRunner(workers=args.workers, cache=cache)
+    progress = _progress_printer(args)
 
-    if args.shard:
-        if not args.json_out:
-            raise InvalidParameterError(
-                "--shard needs --json FILE to store the shard's records "
-                "for the --merge step"
+    try:
+        if args.shard:
+            if not args.json_out:
+                raise InvalidParameterError(
+                    "--shard needs --json FILE to store the shard's records "
+                    "for the --merge step"
+                )
+            index, count = _parse_shard(args.shard)
+            if count < 1 or not 0 <= index < count:
+                raise InvalidParameterError(
+                    f"--shard index must satisfy 0 <= I < K, got {args.shard!r}"
+                )
+            requests = spec.requests()
+            costs = (
+                runner.estimate_costs(requests)
+                if args.shard_strategy == "lpt"
+                else None
             )
-        index, count = _parse_shard(args.shard)
-        records = runner.run(spec.requests(), shard=(index, count))
-        save_json(
-            {
-                "schema": 1,
-                "kind": "sweep-shard",
-                "experiment": spec.name,
-                "shard": [index, count],
-                "records": [record_to_payload(r) for r in records],
-            },
-            args.json_out,
+            assignment = shard_assignment(
+                len(requests), count, strategy=args.shard_strategy, costs=costs
+            )
+            positions = [
+                p for p in range(len(requests)) if assignment[p] == index
+            ]
+            records = runner.run(
+                [requests[p] for p in positions], on_record=progress
+            )
+            save_json(
+                {
+                    "schema": 1,
+                    "kind": "sweep-shard",
+                    "experiment": spec.name,
+                    "shard": [index, count],
+                    "strategy": args.shard_strategy,
+                    # Fingerprint of the full split this shard was cut
+                    # from: --merge compares it across files, so shards
+                    # cut from disagreeing LPT cost snapshots (e.g. a
+                    # cache that later shards mutated) fail with a
+                    # targeted message instead of a confusing one.
+                    "assignment": stable_hash(
+                        {"kind": "shard-assignment", "assignment": assignment}
+                    ),
+                    "positions": positions,
+                    "records": [record_to_payload(r) for r in records],
+                },
+                args.json_out,
+            )
+            print(
+                f"shard {index}/{count} ({args.shard_strategy}): "
+                f"{len(records)} records written to "
+                f"{args.json_out} ({runner.stats.computed} computed, "
+                f"{runner.stats.cache_hits} from cache)"
+            )
+            return 0
+
+        cells = aggregate_records(runner.run(spec.requests(), on_record=progress))
+        _print_cells(spec.name, cells)
+        stats = runner.stats
+        note = (
+            f", {stats.deduplicated} deduplicated" if stats.deduplicated else ""
         )
         print(
-            f"shard {index}/{count}: {len(records)} records written to "
-            f"{args.json_out} ({runner.stats.computed} computed, "
-            f"{runner.stats.cache_hits} from cache)"
+            f"({stats.computed} cells computed, "
+            f"{stats.cache_hits} served from cache{note})"
         )
+        if args.json_out:
+            save_json(_cells_payload(spec.name, cells), args.json_out)
+            print(f"cells written to {args.json_out}")
         return 0
-
-    cells = aggregate_records(runner.run(spec.requests()))
-    _print_cells(spec.name, cells)
-    stats = runner.stats
-    note = f", {stats.deduplicated} deduplicated" if stats.deduplicated else ""
-    print(
-        f"({stats.computed} cells computed, "
-        f"{stats.cache_hits} served from cache{note})"
-    )
-    if args.json_out:
-        save_json(_cells_payload(spec.name, cells), args.json_out)
-        print(f"cells written to {args.json_out}")
-    return 0
+    finally:
+        # Release the backend promptly (checkpoints sqlite's WAL sidecar
+        # files) instead of leaving the connection to the GC.
+        if cache is not None:
+            cache.close()
 
 
 _DISPATCH = {

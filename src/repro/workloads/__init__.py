@@ -1,8 +1,17 @@
 """Workload generators: adversarial, random, and trace-like families.
 
-:func:`named_families` is the string registry the CLI (``generate`` /
-``sweep``) and the engine's declarative experiments resolve family names
-against; every entry has the uniform keyword signature
+Every family registers itself with the declarative
+:class:`~repro.workloads.registry.WorkloadRegistry` (the global
+:data:`~repro.workloads.registry.WORKLOADS`), next to its implementation
+— the workload-side mirror of the algorithm registry. Parameterized
+specs (``heavy-tail?n=64&alpha=3.0&seed=7``) resolve to canonical names,
+so every spelling of the same workload builds the identical instance and
+shares one batch-runner cache key.
+
+:func:`named_families` is the historical string table the CLI
+(``generate`` / ``sweep``) and the engine's declarative experiments
+resolve family names against; it is now a thin shim over the registry.
+Every entry keeps the uniform keyword signature
 ``family(n, *, m=1, alpha=3.0, seed=0)``.
 """
 
@@ -19,6 +28,7 @@ from .random_instances import (
     poisson_instance,
     uniform_instance,
 )
+from .registry import WORKLOADS, WorkloadInfo, WorkloadRegistry, register_workload
 from .structured import (
     agreeable_instance,
     batch_instance,
@@ -26,40 +36,26 @@ from .structured import (
     laminar_instance,
     tight_instance,
 )
-
-def _lower_bound_family(n, *, m=1, alpha=3.0, seed=0):
-    """Adapter: the adversarial family is deterministic and single-proc,
-    so ``m`` and ``seed`` are accepted (for the uniform signature) and
-    ignored — exactly the CLI's historical behaviour."""
-    return lower_bound_instance(n, alpha)
-
-
-def _laminar_family(n, *, m=1, alpha=3.0, seed=0):
-    """Adapter: :func:`laminar_instance` is parameterized by tree depth,
-    not job count — map ``n`` to the binary-tree depth whose node count
-    (``2**depth - 1``) comes closest from below, so the registry's
-    uniform contract "about n jobs" holds."""
-    depth = max(1, (n + 1).bit_length() - 1)
-    return laminar_instance(depth, m=m, alpha=alpha, seed=seed)
+from . import perturb as _perturb  # noqa: F401 - registers the jitter family
 
 
 def named_families() -> dict[str, Callable]:
-    """Name → generator, all with signature ``(n, *, m, alpha, seed)``."""
-    return {
-        "poisson": poisson_instance,
-        "heavy-tail": heavy_tail_instance,
-        "uniform": uniform_instance,
-        "diurnal": diurnal_instance,
-        "agreeable": agreeable_instance,
-        "laminar": _laminar_family,
-        "batch": batch_instance,
-        "tight": tight_instance,
-        "bursty": bursty_instance,
-        "lowerbound": _lower_bound_family,
-    }
+    """Name → generator, all with signature ``(n, *, m, alpha, seed)``.
+
+    Compatibility shim over :data:`WORKLOADS` (like
+    :mod:`repro.core.simulator` is for the algorithm registry): the
+    returned callables are the registered base generators, so string
+    lookups in the CLI and :class:`~repro.engine.ExperimentSpec` keep
+    working unchanged — and automatically see families registered later.
+    """
+    return {info.name: info.generator for info in WORKLOADS}
 
 
 __all__ = [
+    "WORKLOADS",
+    "WorkloadInfo",
+    "WorkloadRegistry",
+    "register_workload",
     "named_families",
     "lower_bound_instance",
     "pd_cost_closed_form",

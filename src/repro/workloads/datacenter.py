@@ -22,6 +22,7 @@ from ..errors import InvalidParameterError
 from ..model.job import Instance, Job
 from ..model.power import optimal_constant_speed_energy
 from ..types import Seed
+from .registry import register_workload
 
 __all__ = ["diurnal_instance", "diurnal_intensity"]
 
@@ -34,6 +35,15 @@ def diurnal_intensity(t: float, *, day: float = 24.0) -> float:
     return max(0.15, min(1.0, raw))
 
 
+@register_workload(
+    "diurnal",
+    summary="a day of data-center requests under a two-peak arrival curve",
+    params={
+        "day": float,
+        "interactive_fraction": float,
+        "base_rate": float,
+    },
+)
 def diurnal_instance(
     n: int,
     *,

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..errors import InvalidParameterError
 from ..model.job import Instance, Job
+from .registry import register_workload
 
 __all__ = [
     "lower_bound_instance",
@@ -72,3 +73,15 @@ def optimal_cost_closed_form(n: int, alpha: float) -> float:
     Hence OPT = ``sum_j (n-j+1)**(-1)`` = the harmonic number ``H_n``.
     """
     return float(sum(1.0 / (n - j + 1) for j in range(1, n + 1)))
+
+
+@register_workload(
+    "lowerbound",
+    summary="the Theorem 3 adversarial family (PD cost -> alpha^alpha OPT)",
+    deterministic=True,
+)
+def _lower_bound_family(n, *, m=1, alpha=3.0, seed=0):
+    """Adapter: the adversarial family is deterministic and single-proc,
+    so ``m`` and ``seed`` are accepted (for the uniform registry
+    contract) and ignored — exactly the CLI's historical behaviour."""
+    return lower_bound_instance(n, alpha)

@@ -14,6 +14,7 @@ import numpy as np
 from ..errors import InvalidParameterError
 from ..model.job import Instance, Job
 from ..types import Seed
+from .registry import WORKLOADS, register_workload
 
 __all__ = [
     "shift_time",
@@ -84,3 +85,24 @@ def tighten_deadlines(instance: Instance, factor: float) -> Instance:
         m=instance.m,
         alpha=instance.alpha,
     )
+
+
+@register_workload(
+    "jitter",
+    summary="a base family with multiplicatively jittered job values",
+    params={"base": str, "rel": float},
+)
+def _jitter_family(n, *, base="poisson", rel=0.1, m=1, alpha=3.0, seed=0):
+    """Composite family: generate ``base`` and jitter its values.
+
+    The generation and the jitter draw from one seeded stream (base at
+    ``seed``, jitter at ``seed + 1``), so the family is deterministic
+    given the seed like every other registry entry. ``base`` may itself
+    be a parameterized spec (``jitter?base=tight``), as long as it names
+    a different family — self-nesting is rejected.
+    """
+    base_name = base.partition("?")[0]
+    if base_name == "jitter":
+        raise InvalidParameterError("jitter cannot wrap itself")
+    inst = WORKLOADS.build(base, n, m=m, alpha=alpha, seed=seed)
+    return jitter_values(inst, rel=rel, seed=None if seed is None else seed + 1)

@@ -16,6 +16,7 @@ from ..errors import InvalidParameterError
 from ..model.job import Instance, Job
 from ..model.power import optimal_constant_speed_energy
 from ..types import Seed
+from .registry import register_workload
 
 __all__ = ["poisson_instance", "heavy_tail_instance", "uniform_instance"]
 
@@ -46,6 +47,11 @@ def _with_values(
     return Instance(tuple(jobs), m=m, alpha=alpha)
 
 
+@register_workload(
+    "poisson",
+    summary="Poisson arrivals, exponential windows and workloads",
+    params={"arrival_rate": float, "mean_span": float, "mean_workload": float},
+)
 def poisson_instance(
     n: int,
     *,
@@ -77,6 +83,11 @@ def poisson_instance(
     return _with_values(rows, alpha=alpha, m=m, rng=rng, value_ratio=value_ratio)
 
 
+@register_workload(
+    "heavy-tail",
+    summary="Pareto workloads, uniform arrivals: a few elephants, many mice",
+    params={"pareto_shape": float, "horizon": float},
+)
 def heavy_tail_instance(
     n: int,
     *,
@@ -106,6 +117,11 @@ def heavy_tail_instance(
     return _with_values(rows, alpha=alpha, m=m, rng=rng, value_ratio=value_ratio)
 
 
+@register_workload(
+    "uniform",
+    summary="everything uniform: the bland control family",
+    params={"horizon": float},
+)
 def uniform_instance(
     n: int,
     *,

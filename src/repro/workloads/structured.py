@@ -23,6 +23,7 @@ from ..errors import InvalidParameterError
 from ..model.job import Instance, Job
 from ..model.power import optimal_constant_speed_energy
 from ..types import Seed
+from .registry import register_workload
 
 __all__ = [
     "agreeable_instance",
@@ -45,6 +46,10 @@ def _value(rng: np.random.Generator, alpha: float, w: float, span: float,
     return float(rng.uniform(*value_ratio)) * solo
 
 
+@register_workload(
+    "agreeable",
+    summary="releases and deadlines increase together (FIFO-like windows)",
+)
 def agreeable_instance(
     n: int,
     *,
@@ -108,6 +113,11 @@ def laminar_instance(
     return Instance(tuple(jobs), m=m, alpha=alpha)
 
 
+@register_workload(
+    "batch",
+    summary="all jobs released at 0 with a common deadline (Figure 2)",
+    params={"deadline": float},
+)
 def batch_instance(
     n: int,
     *,
@@ -130,6 +140,11 @@ def batch_instance(
     return Instance(tuple(jobs), m=m, alpha=alpha)
 
 
+@register_workload(
+    "tight",
+    summary="windows barely longer than the work at unit speed",
+    params={"slack": float},
+)
 def tight_instance(
     n: int,
     *,
@@ -155,6 +170,12 @@ def tight_instance(
     return Instance(tuple(jobs), m=m, alpha=alpha)
 
 
+@register_workload(
+    "bursty",
+    summary="unit must-finish jobs with periodically tightened windows",
+    params={"burstiness": float, "spike_period": int, "base_span": float},
+    classical=True,
+)
 def bursty_instance(
     n: int,
     *,
@@ -201,3 +222,17 @@ def bursty_instance(
         rows.append((t, t + span, 1.0))
         t += float(rng.uniform(0.25 * base_span, 0.5 * base_span))
     return Instance.classical(rows, m=m, alpha=alpha)
+
+
+@register_workload(
+    "laminar",
+    summary="nested windows from a branching-ary tree (fork-join shape)",
+    params={"branching": int},
+)
+def _laminar_family(n, *, branching=2, m=1, alpha=3.0, seed=0):
+    """Adapter: :func:`laminar_instance` is parameterized by tree depth,
+    not job count — map ``n`` to the binary-tree depth whose node count
+    (``2**depth - 1``) comes closest from below, so the registry's
+    uniform contract "about n jobs" holds."""
+    depth = max(1, (n + 1).bit_length() - 1)
+    return laminar_instance(depth, branching=branching, m=m, alpha=alpha, seed=seed)

@@ -305,3 +305,119 @@ class TestSweepSubcommand:
         assert main(self.BASE + ["--json", cells_path]) == 0
         assert main(["sweep", "poisson", "--merge", cells_path]) == 2
         assert "not a sweep shard file" in capsys.readouterr().err
+
+
+class TestSweepWorkloadAxis:
+    """CLI coverage for the workload axis, streaming, and LPT sharding."""
+
+    def test_workload_axis_sweep(self, tmp_path, capsys):
+        out_path = str(tmp_path / "cells.json")
+        argv = [
+            "sweep", "--workload", "poisson", "--workload",
+            "heavy-tail?n=4&alpha=3.0", "-n", "5", "--algorithms", "pd",
+            "--seeds", "0,1", "--json", out_path,
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "workload" in out
+        payload = load_json(out_path)
+        assert [c["params"]["workload"] for c in payload["cells"]] == [
+            "poisson", "heavy-tail?alpha=3.0&n=4",
+        ]
+
+    def test_workload_spelling_variants_share_cache(self, tmp_path, capsys):
+        cache = str(tmp_path / "c.db")
+        base = ["sweep", "-n", "5", "--algorithms", "pd", "--seeds", "0",
+                "--cache", cache, "--cache-backend", "sqlite"]
+        out = [str(tmp_path / "a.json"), str(tmp_path / "b.json")]
+        assert main(
+            base + ["--workload", "heavy-tail?n=6&alpha=3.0", "--json", out[0]]
+        ) == 0
+        assert "1 cells computed" in capsys.readouterr().out
+        assert main(
+            base + ["--workload", "heavy-tail?alpha=3&n=6", "--json", out[1]]
+        ) == 0
+        assert "0 cells computed, 1 served from cache" in capsys.readouterr().out
+        # canonical labels make the cells JSON spelling-invariant too
+        with open(out[0]) as a, open(out[1]) as b:
+            assert a.read() == b.read()
+
+    def test_family_and_workload_are_exclusive(self, capsys):
+        assert main(["sweep", "poisson", "--workload", "uniform"]) == 2
+        assert "one source" in capsys.readouterr().err
+        assert main(["sweep"]) == 2
+        assert "one source" in capsys.readouterr().err
+
+    def test_unknown_workload_spec_is_graceful(self, capsys):
+        assert main(["sweep", "--workload", "nope?n=4"]) == 2
+        assert "unknown workload family" in capsys.readouterr().err
+
+    def test_positional_family_spec_may_pin_alpha(self, capsys):
+        # a parameterized positional family pinning alpha must not clash
+        # with the default alpha grid axis...
+        argv = ["sweep", "heavy-tail?alpha=2.5", "-n", "4",
+                "--algorithms", "pd", "--seeds", "0"]
+        assert main(argv) == 0
+        assert "m=1" in capsys.readouterr().out
+        # ...but an *explicit* --alphas against the pin still fails loudly
+        assert main(argv + ["--alphas", "3.0"]) == 2
+        assert "pinned" in capsys.readouterr().err
+
+    def test_progress_ticker_on_stderr(self, capsys):
+        argv = ["sweep", "poisson", "-n", "4", "--algorithms", "pd",
+                "--seeds", "0,1", "--progress"]
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        assert "[1/2]" in err and "[2/2]" in err and "pd" in err
+
+    def test_lpt_sharded_sweep_merges_byte_identical(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache.db")
+        base = [
+            "sweep", "poisson", "-n", "5", "--alphas", "3.0", "--ms", "1",
+            "--algorithms", "pd,oa", "--seeds", "0,1",
+            "--cache", cache, "--cache-backend", "sqlite",
+        ]
+        full, merged = str(tmp_path / "full.json"), str(tmp_path / "m.json")
+        shards = [str(tmp_path / f"s{i}.json") for i in range(2)]
+        # warm the cache so LPT schedules from *measured* timings
+        assert main(base + ["--json", full]) == 0
+        for index, shard_path in enumerate(shards):
+            argv = base + ["--shard", f"{index}/2", "--shard-strategy",
+                           "lpt", "--json", shard_path]
+            assert main(argv) == 0
+        assert main(["sweep", "--merge", *shards, "--json", merged]) == 0
+        capsys.readouterr()
+        with open(full) as f_full, open(merged) as f_merged:
+            assert f_full.read() == f_merged.read()
+        # the shard files record the strategy and their owned positions
+        shard_payload = load_json(shards[0])
+        assert shard_payload["strategy"] == "lpt"
+        positions = shard_payload["positions"] + load_json(shards[1])["positions"]
+        assert sorted(positions) == list(range(4))  # pd,oa x seeds 0,1
+
+    def test_shard_index_validated(self, capsys):
+        assert main([
+            "sweep", "poisson", "--shard", "2/2", "--json", "x.json",
+        ]) == 2
+        assert "0 <= I < K" in capsys.readouterr().err
+
+    def test_merge_diagnoses_divergent_lpt_assignments(self, tmp_path, capsys):
+        """LPT shards cut against a *live* shared cache disagree on the
+        split (earlier shards write timings that change later shards'
+        cost vectors); --merge must say so, not interleave garbage."""
+        cache = str(tmp_path / "cache.db")
+        base = [
+            "sweep", "poisson", "-n", "5", "--alphas", "3.0", "--ms", "1",
+            "--algorithms", "pd,oa", "--seeds", "0,1",
+            "--cache", cache, "--cache-backend", "sqlite",
+        ]
+        shards = [str(tmp_path / f"s{i}.json") for i in range(2)]
+        for index, shard_path in enumerate(shards):
+            # no warm-up run: shard 0's fresh timings skew shard 1's split
+            argv = base + ["--shard", f"{index}/2", "--shard-strategy",
+                           "lpt", "--json", shard_path]
+            assert main(argv) == 0
+        code = main(["sweep", "--merge", *shards])
+        err = capsys.readouterr().err
+        if code == 2:  # the splits actually diverged (the common case)
+            assert "timing snapshots" in err or "partition" in err
