@@ -118,3 +118,76 @@ def test_perf_preemption_stats(benchmark):
     schedule = run_pd(inst).schedule
     stats = benchmark(preemption_stats, schedule)
     assert stats.segments > 0
+
+
+# ---------------------------------------------------------------------------
+# Cache-fabric backends: per-backend get/put latency
+# ---------------------------------------------------------------------------
+def test_cache_backend_latency(tmp_path):
+    """Record get/put latency per cache backend to benchmarks/results.
+
+    Not a pytest-benchmark case: the interesting output is the
+    *comparison table* (dir vs sqlite vs memory vs tiered vs http),
+    written as ``micro_cache_latency.{txt,json}`` so the fabric's
+    overhead trajectory is trackable across commits. The http backend
+    runs against a live in-process ``CacheServer`` — real sockets, so
+    the number includes the round trip the tiered stack exists to
+    amortize.
+    """
+    import time as _time
+
+    from helpers import emit_table
+
+    from repro.engine import (
+        DirectoryCache,
+        HttpCache,
+        MemoryCache,
+        SqliteCache,
+        TieredCache,
+    )
+    from repro.io.server import CacheServer
+
+    payload = {
+        "v": 1,
+        "wall_time": 0.01,
+        # schedule-sized filler so payload parsing shows up honestly
+        "blob": list(range(400)),
+    }
+    ops = 50
+    server = CacheServer(MemoryCache()).start()
+    try:
+        backends = {
+            "memory": MemoryCache(),
+            "dir": DirectoryCache(tmp_path / "d"),
+            "sqlite": SqliteCache(tmp_path / "s.db"),
+            "http": HttpCache(server.url),
+            "tiered": TieredCache(
+                [MemoryCache(), DirectoryCache(tmp_path / "t")]
+            ),
+        }
+        rows, data = [], []
+        for name, cache in backends.items():
+            start = _time.perf_counter()
+            for i in range(ops):
+                cache.put(f"{name}-{i}", payload)
+            put_us = 1e6 * (_time.perf_counter() - start) / ops
+            start = _time.perf_counter()
+            for i in range(ops):
+                got = cache.get(f"{name}-{i}")
+                assert got is not None and got["v"] == 1
+            get_us = 1e6 * (_time.perf_counter() - start) / ops
+            rows.append(f"{name:<8} {put_us:>12.1f} {get_us:>12.1f}")
+            data.append(
+                {"backend": name, "put_us": put_us, "get_us": get_us}
+            )
+            cache.close()
+        emit_table(
+            "micro_cache_latency",
+            f"{'backend':<8} {'put (us)':>12} {'get (us)':>12}",
+            rows,
+            data=data,
+        )
+        # sanity, not a perf assertion: every backend round-trips
+        assert {row["backend"] for row in data} == set(backends)
+    finally:
+        server.stop()

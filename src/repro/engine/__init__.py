@@ -17,6 +17,14 @@ Three layers, each usable on its own:
   declarative parameter-grid form (grid, variant, and workload axes)
   that compiles down to batch requests.
 
+The *cache fabric* spans the cache layer: :mod:`repro.engine.cache`
+adds an in-memory LRU (:class:`MemoryCache`) and the promoting/
+write-through :class:`TieredCache`, :mod:`repro.engine.remote` holds
+the network clients (:class:`HttpCache`, :class:`HttpClaimTable`), and
+:mod:`repro.io.server` serves any local backend — plus the
+work-stealing claim table :meth:`BatchRunner.run_stolen` consumes —
+over a small JSON/HTTP wire protocol.
+
 See ``docs/architecture.md`` for the layering contract and the cache
 key scheme.
 """
@@ -24,10 +32,14 @@ key scheme.
 from .cache import (
     CacheBackend,
     DirectoryCache,
+    MemoryCache,
     ResultCache,
     SqliteCache,
+    TieredCache,
+    backend_stats,
     open_cache,
 )
+from .remote import HttpCache, HttpClaimTable
 from .experiment import (
     ExperimentCell,
     ExperimentSpec,
@@ -46,6 +58,8 @@ from .registry import (
 )
 from .runner import (
     BatchRunner,
+    ClaimTable,
+    InProcessClaimTable,
     RunnerStats,
     RunRecord,
     RunRequest,
@@ -68,10 +82,17 @@ __all__ = [
     "canonical_variant_name",
     "CacheBackend",
     "DirectoryCache",
+    "MemoryCache",
     "ResultCache",
     "SqliteCache",
+    "TieredCache",
+    "HttpCache",
+    "HttpClaimTable",
+    "backend_stats",
     "open_cache",
     "BatchRunner",
+    "ClaimTable",
+    "InProcessClaimTable",
     "RunnerStats",
     "RunRecord",
     "RunRequest",

@@ -7,18 +7,26 @@ record schema version). Re-running a sweep with one changed cell
 therefore recomputes exactly that cell: every other request hashes to an
 existing entry.
 
-Two backends ship with the library, behind the common
+Four backends ship with the library, behind the common
 :class:`CacheBackend` protocol:
 
 * :class:`DirectoryCache` — one ``<sha256>.json`` file per entry under a
   directory. No index, no eviction, no locking beyond atomic-rename
   writes; ``rm -r`` of the directory is always a safe reset. This is
-  the historical backend (``ResultCache`` remains its alias).
+  the historical backend (``ResultCache`` remains its alias). A compact
+  per-key ``.timing`` sidecar makes cost estimation a metadata read.
 * :class:`SqliteCache` — a single-file SQLite database in WAL mode,
   friendlier to filesystems that hate directories with tens of
   thousands of small files, and safe under concurrent writers (content
   addressing makes every write idempotent, so writers can only race to
-  store the same bytes).
+  store the same bytes; busy-lock collisions retry with backoff).
+* :class:`MemoryCache` — a bounded in-process LRU, the hot tier of a
+  :class:`TieredCache` (and a zero-setup backend for tests and the
+  cache server).
+* :class:`TieredCache` — a composite that probes fast tiers first,
+  writes through to every tier, and promotes hits upward, so a hot key
+  behind a remote :class:`~repro.engine.remote.HttpCache` tier is
+  fetched over the network at most once.
 
 Backends are interchangeable by construction: the parity tests assert
 bit-identical records whichever one a :class:`~repro.engine.runner.
@@ -33,16 +41,20 @@ import os
 import sqlite3
 import tempfile
 import time
+from collections import OrderedDict
 from pathlib import Path
-from typing import Any, Iterator, Protocol, runtime_checkable
+from typing import Any, Iterator, Mapping, Protocol, Sequence, runtime_checkable
 
 from ..errors import InvalidParameterError
 
 __all__ = [
     "CacheBackend",
     "DirectoryCache",
+    "MemoryCache",
     "ResultCache",
     "SqliteCache",
+    "TieredCache",
+    "backend_stats",
     "open_cache",
 ]
 
@@ -55,6 +67,22 @@ _TMP_PREFIX = ".tmp-"
 #: orphaned. Live writers hold their temp file for milliseconds; a
 #: generous threshold keeps the init-time sweep from racing them.
 _TMP_STALE_SECONDS = 3600.0
+
+#: Suffix of a :class:`DirectoryCache` entry's timing sidecar — a file
+#: holding nothing but ``repr(wall_time)``, so cost estimation over a
+#: large cache reads a few bytes per key instead of parsing payloads
+#: whose serialized schedules dominate the bytes.
+_TIMING_SUFFIX = ".timing"
+
+
+def _finite_timing(payload: Mapping[str, Any] | None) -> float | None:
+    """The payload's measured ``wall_time``, or ``None`` if unusable."""
+    if payload is None:
+        return None
+    timing = payload.get("wall_time")
+    if isinstance(timing, (int, float)) and math.isfinite(timing):
+        return float(timing)
+    return None
 
 
 @runtime_checkable
@@ -117,6 +145,32 @@ class DirectoryCache:
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
+    def _timing_path(self, key: str) -> Path:
+        return self.directory / f"{key}{_TIMING_SUFFIX}"
+
+    def _atomic_write(self, path: Path, text: str) -> None:
+        """Write-then-rename, retried if a racing cleaner steals the temp
+        file — content addressing makes the whole operation idempotent,
+        so retrying is always correct."""
+        for attempt in range(3):
+            fd, tmp = tempfile.mkstemp(
+                dir=self.directory, prefix=_TMP_PREFIX, suffix=".json"
+            )
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    fh.write(text)
+                os.replace(tmp, path)
+                return
+            except FileNotFoundError:
+                if attempt == 2:
+                    raise
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+
     def get(self, key: str) -> dict[str, Any] | None:
         """The cached payload for ``key``, or ``None`` on a miss.
 
@@ -135,30 +189,94 @@ class DirectoryCache:
     def put(self, key: str, payload: dict[str, Any]) -> None:
         """Store ``payload`` under ``key`` (atomic write-then-rename).
 
-        If the temp file vanishes before the rename (another process's
-        over-eager cleanup), the write is retried — content addressing
-        makes the whole operation idempotent, so retrying is always
-        correct.
+        A payload carrying a finite measured ``wall_time`` also writes
+        its ``.timing`` sidecar, so the LPT/steal cost model reads one
+        small file per key instead of parsing the full payload.
         """
-        path = self._path(key)
-        for attempt in range(3):
-            fd, tmp = tempfile.mkstemp(
-                dir=self.directory, prefix=_TMP_PREFIX, suffix=".json"
-            )
+        self._atomic_write(self._path(key), json.dumps(payload))
+        timing = _finite_timing(payload)
+        if timing is not None:
+            self._atomic_write(self._timing_path(key), repr(timing))
+
+    def get_timing(self, key: str) -> float | None:
+        """The stored ``wall_time`` of one entry, payload left unparsed.
+
+        The fast path for :meth:`~repro.engine.runner.BatchRunner.
+        estimate_costs`: a few bytes from the ``.timing`` sidecar.
+        Entries written by a pre-sidecar build fall back to a full
+        payload read and lazily backfill their sidecar, so a warmed old
+        cache converges to O(keys) metadata reads. A miss (or an entry
+        with no usable timing) is ``None``.
+        """
+        try:
+            return float(self._timing_path(key).read_text())
+        except FileNotFoundError:
+            pass
+        except (ValueError, OSError):
+            pass  # unreadable sidecar: recover it from the payload below
+        timing = _finite_timing(self.get(key))
+        if timing is not None:
             try:
-                with os.fdopen(fd, "w") as fh:
-                    json.dump(payload, fh)
-                os.replace(tmp, path)
-                return
-            except FileNotFoundError:
-                if attempt == 2:
-                    raise
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+                self._atomic_write(self._timing_path(key), repr(timing))
+            except OSError:
+                pass  # backfill is an optimization, never a failure
+        return timing
+
+    def stats(self) -> dict[str, Any]:
+        """Backend, entry count, payload bytes, and timing-index coverage.
+
+        ``timed_entries`` counts sidecar files only — pre-sidecar
+        entries whose payloads do carry a timing are excluded until a
+        ``get_timing`` backfills them; counting them would require the
+        full payload parse this index exists to avoid.
+        """
+        entries = total_bytes = timed = 0
+        for path in self.directory.glob("*.json"):
+            if path.name.startswith(_TMP_PREFIX):
+                continue
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                continue  # deleted under us: not an entry anymore
+            entries += 1
+            if self._timing_path(path.stem).exists():
+                timed += 1
+        return {
+            "backend": "dir",
+            "location": str(self.directory),
+            "entries": entries,
+            "total_bytes": total_bytes,
+            "timed_entries": timed,
+        }
+
+    def gc(self, older_than: float) -> int:
+        """Prune entries not modified in ``older_than`` seconds.
+
+        Removes each stale entry with its timing sidecar, stale
+        ``.tmp-*`` leftovers past the cutoff, and orphaned sidecars
+        whose entry is already gone. Returns the number of *entries*
+        pruned.
+        """
+        cutoff = time.time() - float(older_than)
+        removed = 0
+        for path in list(self.directory.iterdir()):
+            name = path.name
+            try:
+                stale = path.stat().st_mtime < cutoff
+            except OSError:
+                continue
+            if name.startswith(_TMP_PREFIX):
+                if stale:
+                    path.unlink(missing_ok=True)
+                continue
+            if name.endswith(".json") and stale:
+                path.unlink(missing_ok=True)
+                self._timing_path(path.stem).unlink(missing_ok=True)
+                removed += 1
+            elif name.endswith(_TIMING_SUFFIX):
+                if not self._path(name[: -len(_TIMING_SUFFIX)]).exists():
+                    path.unlink(missing_ok=True)
+        return removed
 
     def keys(self) -> Iterator[str]:
         """The stored keys (entry files only, never in-flight temp files).
@@ -194,12 +312,29 @@ ResultCache = DirectoryCache
 class SqliteCache:
     """A single-file SQLite backend (WAL mode, concurrent-writer safe).
 
-    One table, ``entries(key TEXT PRIMARY KEY, payload TEXT)``. Writes
-    use ``INSERT OR REPLACE`` inside an implicit transaction; WAL mode
-    plus a generous busy timeout lets several runner processes share the
-    file, and content addressing means the worst a race can do is store
-    the same bytes twice.
+    One table, ``entries(key TEXT PRIMARY KEY, payload TEXT, wall_time
+    REAL, created_at REAL)``. Writes use ``INSERT OR REPLACE`` inside an
+    implicit transaction; WAL mode plus a generous busy timeout lets
+    several runner processes share the file, and content addressing
+    means the worst a race can do is store the same bytes twice. A write
+    that still loses the lock race (``SQLITE_BUSY`` surviving the busy
+    timeout — seen with many processes hammering one file) is retried
+    with bounded exponential backoff instead of surfacing
+    ``sqlite3.OperationalError`` mid-sweep.
+
+    Connections are per-process (reopened after fork) but *not*
+    per-thread: ``check_same_thread=False`` so a serving layer like
+    :class:`repro.io.server.CacheServer` — which serializes every
+    backend call behind one lock — can run handler threads. Callers
+    sharing one instance across threads must serialize access the same
+    way.
     """
+
+    #: Bounded backoff for writes that lose the WAL lock race: attempt
+    #: ``i`` sleeps ``_BUSY_BASE_DELAY * 2**i`` seconds before retrying,
+    #: ~0.6 s in total before the error is surfaced for real.
+    _BUSY_ATTEMPTS = 6
+    _BUSY_BASE_DELAY = 0.02
 
     def __init__(self, path: str | Path, *, timeout: float = 30.0) -> None:
         self.path = Path(path)
@@ -214,25 +349,48 @@ class SqliteCache:
         # Reopen after fork: SQLite connections must not cross processes
         # (worker pools fork the parent mid-life).
         if self._conn is None or self._pid != os.getpid():
-            conn = sqlite3.connect(self.path, timeout=self._timeout)
+            conn = sqlite3.connect(
+                self.path, timeout=self._timeout, check_same_thread=False
+            )
             conn.execute("PRAGMA journal_mode=WAL")
             conn.execute("PRAGMA synchronous=NORMAL")
             conn.execute(
                 "CREATE TABLE IF NOT EXISTS entries ("
                 "key TEXT PRIMARY KEY, payload TEXT NOT NULL, "
-                "wall_time REAL)"
+                "wall_time REAL, created_at REAL)"
             )
-            try:
-                # Migrate pre-timing databases in place; the duplicate-
-                # column error on current ones is the cheap existence
-                # probe.
-                conn.execute("ALTER TABLE entries ADD COLUMN wall_time REAL")
-            except sqlite3.OperationalError:
-                pass
+            for column in ("wall_time REAL", "created_at REAL"):
+                try:
+                    # Migrate older databases in place; the duplicate-
+                    # column error on current ones is the cheap
+                    # existence probe.
+                    conn.execute(f"ALTER TABLE entries ADD COLUMN {column}")
+                except sqlite3.OperationalError:
+                    pass
             conn.commit()
             self._conn = conn
             self._pid = os.getpid()
         return self._conn
+
+    @staticmethod
+    def _is_busy(exc: sqlite3.OperationalError) -> bool:
+        text = str(exc).lower()
+        return "locked" in text or "busy" in text
+
+    def _write_with_retry(self, operation):
+        """Run a write closure, retrying lock-contention failures.
+
+        Content addressing makes every write idempotent, so a retry can
+        only re-store the same bytes; anything that is not a busy/locked
+        condition re-raises immediately.
+        """
+        for attempt in range(self._BUSY_ATTEMPTS):
+            try:
+                return operation()
+            except sqlite3.OperationalError as exc:
+                if not self._is_busy(exc) or attempt == self._BUSY_ATTEMPTS - 1:
+                    raise
+                time.sleep(self._BUSY_BASE_DELAY * (2 ** attempt))
 
     def get(self, key: str) -> dict[str, Any] | None:
         row = self._connect().execute(
@@ -249,16 +407,20 @@ class SqliteCache:
         # The measured wall time is denormalized into its own column so
         # the LPT cost model can read one float per cell instead of
         # parsing full payloads (schedules dominate the payload bytes).
-        timing = payload.get("wall_time")
-        if not isinstance(timing, (int, float)) or not math.isfinite(timing):
-            timing = None
+        timing = _finite_timing(payload)
+        text = json.dumps(payload)
         conn = self._connect()
-        with conn:
-            conn.execute(
-                "INSERT OR REPLACE INTO entries (key, payload, wall_time) "
-                "VALUES (?, ?, ?)",
-                (key, json.dumps(payload), timing),
-            )
+
+        def write() -> None:
+            with conn:
+                conn.execute(
+                    "INSERT OR REPLACE INTO entries "
+                    "(key, payload, wall_time, created_at) "
+                    "VALUES (?, ?, ?, ?)",
+                    (key, text, timing, time.time()),
+                )
+
+        self._write_with_retry(write)
 
     def get_timing(self, key: str) -> float | None:
         """The stored ``wall_time`` of one entry, payload left unparsed.
@@ -275,11 +437,43 @@ class SqliteCache:
             return None
         if row[0] is not None:
             return float(row[0])
-        payload = self.get(key)
-        timing = payload.get("wall_time") if payload is not None else None
-        if isinstance(timing, (int, float)) and math.isfinite(timing):
-            return float(timing)
-        return None
+        return _finite_timing(self.get(key))
+
+    def stats(self) -> dict[str, Any]:
+        """Backend, entry count, payload bytes, and timing coverage."""
+        row = self._connect().execute(
+            "SELECT COUNT(*), COALESCE(SUM(LENGTH(payload)), 0), "
+            "COUNT(wall_time) FROM entries"
+        ).fetchone()
+        return {
+            "backend": "sqlite",
+            "location": str(self.path),
+            "entries": int(row[0]),
+            "total_bytes": int(row[1]),
+            "timed_entries": int(row[2]),
+        }
+
+    def gc(self, older_than: float) -> int:
+        """Prune entries stored more than ``older_than`` seconds ago.
+
+        Entries written by a pre-timestamp build (``created_at`` NULL)
+        have unknowable age and are treated as old — ``gc`` is an
+        explicit maintenance request, and keeping undatable entries
+        forever would defeat it. Returns the number pruned.
+        """
+        cutoff = time.time() - float(older_than)
+        conn = self._connect()
+
+        def prune() -> int:
+            with conn:
+                cursor = conn.execute(
+                    "DELETE FROM entries "
+                    "WHERE created_at IS NULL OR created_at < ?",
+                    (cutoff,),
+                )
+                return int(cursor.rowcount)
+
+        return self._write_with_retry(prune)
 
     def keys(self) -> Iterator[str]:
         for (key,) in self._connect().execute(
@@ -324,16 +518,286 @@ class SqliteCache:
         self.close()
 
 
+class MemoryCache:
+    """A bounded in-process LRU backend.
+
+    The hot tier of a :class:`TieredCache` (and a zero-setup backend for
+    tests and the cache server). Payloads are stored in their canonical
+    JSON text form and re-parsed on ``get`` — the same round trip every
+    other backend performs — so a caller mutating a returned dict can
+    never corrupt the stored entry, and parity with the on-disk backends
+    holds bit for bit.
+
+    Eviction is LRU over *entry count* (``max_entries``; ``None`` means
+    unbounded — the right setting when the memory cache IS the store,
+    as under ``cache-serve --backend memory``, where a silent LRU cap
+    would evict a fleet's results mid-sweep): a ``get`` or ``put``
+    refreshes recency, and the stalest entry is dropped when the bound
+    is exceeded. Entries also remember their insertion time, so
+    ``gc(older_than)`` works like the durable backends'.
+    """
+
+    def __init__(self, max_entries: int | None = 1024) -> None:
+        if max_entries is not None and (
+            not isinstance(max_entries, int) or max_entries < 1
+        ):
+            raise InvalidParameterError(
+                f"max_entries must be an int >= 1 or None, got {max_entries!r}"
+            )
+        self.max_entries = max_entries
+        # key -> (created_at, wall_time | None, payload text)
+        self._entries: OrderedDict[str, tuple[float, float | None, str]] = (
+            OrderedDict()
+        )
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        self._entries.move_to_end(key)
+        return json.loads(entry[2])
+
+    def put(self, key: str, payload: dict[str, Any]) -> None:
+        self._entries[key] = (
+            time.time(),
+            _finite_timing(payload),
+            json.dumps(payload),
+        )
+        self._entries.move_to_end(key)
+        if self.max_entries is not None:
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def get_timing(self, key: str) -> float | None:
+        """The entry's ``wall_time`` without a payload parse (no recency
+        bump: cost estimation is a scan, not a use)."""
+        entry = self._entries.get(key)
+        return entry[1] if entry is not None else None
+
+    def keys(self) -> Iterator[str]:
+        yield from list(self._entries)
+
+    def stats(self) -> dict[str, Any]:
+        entries = self._entries
+        bound = "unbounded" if self.max_entries is None else self.max_entries
+        return {
+            "backend": "memory",
+            "location": f"lru({bound})",
+            "entries": len(entries),
+            "total_bytes": sum(len(e[2]) for e in entries.values()),
+            "timed_entries": sum(
+                1 for e in entries.values() if e[1] is not None
+            ),
+        }
+
+    def gc(self, older_than: float) -> int:
+        cutoff = time.time() - float(older_than)
+        stale = [k for k, e in self._entries.items() if e[0] < cutoff]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def close(self) -> None:
+        """No-op: entries live and die with the object."""
+
+    def __enter__(self) -> "MemoryCache":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class TieredCache:
+    """A composite backend: fast tiers shield slow ones.
+
+    ``tiers`` is ordered fastest-first (the canonical stack is
+    ``[MemoryCache(), DirectoryCache(...), HttpCache(...)]``). Reads
+    probe tier by tier and **promote** a hit into every faster tier, so
+    a hot key behind the network tier is fetched remotely at most once
+    per process. Writes go **through** to every tier, so the remote
+    stays authoritative and a restarted worker finds its local tiers
+    warm. ``keys``/``len``/``contains`` answer from the *last* tier —
+    the authoritative one; faster tiers are partial replicas by
+    construction.
+    """
+
+    def __init__(self, tiers: Sequence[CacheBackend]) -> None:
+        tiers = list(tiers)
+        if not tiers:
+            raise InvalidParameterError("TieredCache needs at least one tier")
+        for tier in tiers:
+            if not (hasattr(tier, "get") and hasattr(tier, "put")):
+                raise InvalidParameterError(
+                    f"every tier must be a CacheBackend, got {tier!r}"
+                )
+        self.tiers = tiers
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        for depth, tier in enumerate(self.tiers):
+            payload = tier.get(key)
+            if payload is not None:
+                for upper in self.tiers[:depth]:
+                    upper.put(key, payload)
+                return payload
+        return None
+
+    def get_many(self, keys: Sequence[str]) -> dict[str, dict[str, Any]]:
+        """Batched probe: each tier sees only the keys the faster tiers
+        missed, and every deep hit is promoted upward."""
+        found: dict[str, dict[str, Any]] = {}
+        level: dict[str, int] = {}
+        missing = list(keys)
+        for depth, tier in enumerate(self.tiers):
+            if not missing:
+                break
+            fetch_many = getattr(tier, "get_many", None)
+            if fetch_many is not None:
+                hits = fetch_many(missing)
+            else:
+                hits = {}
+                for key in missing:
+                    payload = tier.get(key)
+                    if payload is not None:
+                        hits[key] = payload
+            for key, payload in hits.items():
+                found[key] = payload
+                level[key] = depth
+            missing = [key for key in missing if key not in found]
+        for key, depth in level.items():
+            for upper in self.tiers[:depth]:
+                upper.put(key, found[key])
+        return found
+
+    def put(self, key: str, payload: dict[str, Any]) -> None:
+        for tier in self.tiers:
+            tier.put(key, payload)
+
+    def get_timing(self, key: str) -> float | None:
+        for tier in self.tiers:
+            probe = getattr(tier, "get_timing", None)
+            if probe is not None:
+                timing = probe(key)
+                if timing is not None:
+                    return timing
+        return _finite_timing(self.get(key))
+
+    def get_timings(self, keys: Sequence[str]) -> dict[str, float]:
+        """Bulk timings without payload parses; keys no tier can time
+        are simply absent (the cost model estimates them at its
+        default)."""
+        out: dict[str, float] = {}
+        missing = list(keys)
+        for tier in self.tiers:
+            if not missing:
+                break
+            bulk = getattr(tier, "get_timings", None)
+            probe = getattr(tier, "get_timing", None)
+            if bulk is not None:
+                out.update(bulk(missing))
+            elif probe is not None:
+                for key in missing:
+                    timing = probe(key)
+                    if timing is not None:
+                        out[key] = timing
+            missing = [key for key in missing if key not in out]
+        return out
+
+    def keys(self) -> Iterator[str]:
+        return self.tiers[-1].keys()
+
+    def stats(self) -> dict[str, Any]:
+        """The authoritative tier's numbers, plus one entry per tier.
+
+        Each tier's stats are computed exactly once — a directory walk
+        or a strict HTTP round trip is not free, and repeating it would
+        turn one server hiccup into a spurious failure.
+        """
+        per_tier = [backend_stats(tier) for tier in self.tiers]
+        authoritative = per_tier[-1]
+        return {
+            "backend": "tiered",
+            "location": " -> ".join(
+                stats.get("backend", "?") for stats in per_tier
+            ),
+            "entries": authoritative.get("entries"),
+            "total_bytes": authoritative.get("total_bytes"),
+            "timed_entries": authoritative.get("timed_entries"),
+            "tiers": per_tier,
+        }
+
+    def gc(self, older_than: float) -> int:
+        """GC every tier that supports it; reports the authoritative
+        (last) tier's count."""
+        removed = 0
+        for depth, tier in enumerate(self.tiers):
+            collect = getattr(tier, "gc", None)
+            if collect is not None:
+                count = collect(older_than)
+                if depth == len(self.tiers) - 1:
+                    removed = count
+        return removed
+
+    def close(self) -> None:
+        for tier in self.tiers:
+            tier.close()
+
+    def __enter__(self) -> "TieredCache":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.tiers[-1]
+
+    def __len__(self) -> int:
+        return len(self.tiers[-1])
+
+
+def backend_stats(cache: CacheBackend) -> dict[str, Any]:
+    """A backend's ``stats()`` dict, or a minimal fallback for backends
+    that predate the stats surface (entry count only — computing bytes
+    generically would parse every payload)."""
+    probe = getattr(cache, "stats", None)
+    if probe is not None:
+        return probe()
+    return {"backend": type(cache).__name__, "entries": len(cache)}
+
+
+def _open_http(url: str | Path) -> CacheBackend:
+    # Imported here only to keep the module dependency one-way on paper
+    # (remote is the layer above); the engine package __init__ loads
+    # .remote eagerly anyway, so nothing is actually deferred.
+    from .remote import HttpCache
+
+    return HttpCache(str(url))
+
+
 #: Constructors by CLI/backend name; the single source of truth for
-#: ``--cache-backend`` choices.
+#: ``--cache-backend`` choices. ``http`` interprets the path as the
+#: cache server's base URL; ``memory`` ignores it (one process's RAM
+#: has no path) and is unbounded — when the memory cache is the whole
+#: store (``cache-serve --backend memory``), the hot-tier LRU default
+#: would silently evict results mid-sweep. The ``tiered`` composite is
+#: assembled explicitly (it needs a local path *and* a URL), not
+#: through this table.
 BACKENDS = {
     "dir": DirectoryCache,
     "sqlite": SqliteCache,
+    "memory": lambda path=None: MemoryCache(max_entries=None),
+    "http": _open_http,
 }
 
 
 def open_cache(path: str | Path, backend: str = "dir") -> CacheBackend:
-    """Construct a cache backend by name (``dir`` or ``sqlite``)."""
+    """Construct a cache backend by name (``dir``, ``sqlite``,
+    ``memory``, or ``http`` — where ``path`` is the server URL)."""
     try:
         factory = BACKENDS[backend]
     except KeyError:

@@ -409,6 +409,37 @@ class ExperimentSpec:
             inst = self.transform(inst, dict(params))
         return inst
 
+    def fingerprint(self, requests: Sequence[RunRequest] | None = None) -> str:
+        """Content address of the compiled request list.
+
+        Two processes agree on this hash iff they compiled the identical
+        (algorithm × instance) request list in the identical order —
+        exactly the precondition for cooperating on one sweep. The
+        work-stealing CLI uses it as the shared claim-table id, so a
+        worker whose spec resolves differently (version skew, a mutated
+        registry) lands on a *different* claim table and the mismatch
+        surfaces loudly at merge time instead of silently interleaving
+        mismatched grids.
+
+        Pass ``requests`` (an already-compiled :meth:`requests` list) to
+        skip recompiling the grid; it must be this spec's own output.
+        """
+        from ..io.serialize import stable_hash
+        from .runner import request_key
+
+        if requests is None:
+            requests = self.requests()
+        return stable_hash(
+            {
+                "kind": "experiment-fingerprint",
+                "name": self.name,
+                "keys": [
+                    request_key(request.algorithm, request.instance)
+                    for request in requests
+                ],
+            }
+        )
+
     def requests(self) -> list[RunRequest]:
         """Compile the spec to the flat batch-request list.
 

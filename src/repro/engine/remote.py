@@ -1,0 +1,404 @@
+"""Network cache fabric clients: HTTP cache backend and claim table.
+
+The server side lives in :mod:`repro.io.server` (a thin
+``http.server`` wrapper around any local :class:`~repro.engine.cache.
+CacheBackend`); this module is the client side, all stdlib ``urllib``:
+
+* :class:`HttpCache` — a :class:`~repro.engine.cache.CacheBackend` over
+  a small JSON/HTTP wire protocol, with batched ``get_many`` /
+  ``put_many`` round trips to amortize latency and a bulk
+  ``get_timings`` probe so LPT cost estimation costs one request, not
+  one per key.
+* :class:`HttpClaimTable` — the client of the server's shared claim
+  table, which is what turns static shards into work stealing: each
+  worker claims the next unclaimed grid position instead of owning a
+  precomputed slice, so a slow worker's queue drains into fast ones.
+
+Fault model, deliberately asymmetric:
+
+* **cache traffic degrades**: a ``get`` against an unreachable or
+  misbehaving server is a *miss* and a ``put`` is dropped — the sweep
+  falls back to recomputing, which is always correct (the cache is an
+  optimization). A server restart mid-sweep therefore costs time, never
+  correctness.
+* **claim traffic fails loudly** (:class:`~repro.errors.CacheError`): a
+  worker that cannot reach the claim table must stop rather than guess
+  at positions — two workers guessing would both compute overlapping
+  cells and the merge would reject the result anyway.
+
+The wire format is Python-dialect JSON (``NaN`` literals allowed —
+certified ratios of certificate-less algorithms are ``NaN`` by
+contract), which round-trips exactly between ``json.dumps`` and
+``json.loads`` on both ends.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Any, Iterator, Mapping, Sequence
+
+from ..errors import CacheError, InvalidParameterError
+
+__all__ = ["HttpCache", "HttpClaimTable"]
+
+#: Default number of entries per ``records:batch`` / ``timings``
+#: round trip. Large enough to amortize connection setup, small enough
+#: to keep a single response bounded (payloads carry full schedules).
+DEFAULT_BATCH_SIZE = 64
+
+
+def _check_url(url: str) -> str:
+    """Validate a cache-server base URL up front.
+
+    ``urlopen`` raises a bare ``ValueError`` on a scheme-less URL —
+    which is neither a transport fault nor a :class:`ReproError`, so it
+    would escape every handler as a raw traceback. Catch it here, once,
+    as the input error it is.
+    """
+    if not isinstance(url, str) or not url.startswith(("http://", "https://")):
+        raise InvalidParameterError(
+            f"cache server URL must start with http:// or https://, "
+            f"got {url!r}"
+        )
+    return url.rstrip("/")
+
+
+def _http_json(
+    base_url: str,
+    method: str,
+    path: str,
+    body: Any | None = None,
+    *,
+    timeout: float,
+) -> tuple[int, Any | None]:
+    """One JSON round trip against the cache server.
+
+    Returns ``(status, parsed_body)`` — ``parsed_body`` is ``None`` for
+    an empty or non-JSON response (the caller decides whether that is a
+    protocol error or a benign miss). Transport failures (connection
+    refused, DNS, timeout) raise :class:`CacheError`; HTTP error
+    *statuses* are returned like any other, since 404 is part of the
+    protocol.
+    """
+    data = None if body is None else json.dumps(body).encode("utf-8")
+    request = urllib.request.Request(
+        base_url + path,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            status = response.status
+            raw = response.read()
+    except urllib.error.HTTPError as exc:
+        status = exc.code
+        raw = exc.read() or b""
+    except (
+        urllib.error.URLError,
+        # Not-HTTP-at-all and truncated responses (BadStatusLine,
+        # IncompleteRead) are HTTPException, which is neither URLError
+        # nor OSError — without this clause they would escape the
+        # lenient get/put paths and abort a sweep mid-run.
+        http.client.HTTPException,
+        OSError,
+        TimeoutError,
+    ) as exc:
+        raise CacheError(
+            f"cache server {base_url} unreachable ({method} {path}): {exc}"
+        ) from exc
+    if not raw:
+        return status, None
+    try:
+        return status, json.loads(raw)
+    except json.JSONDecodeError:
+        return status, None
+
+
+class HttpCache:
+    """A :class:`~repro.engine.cache.CacheBackend` over the cache-server
+    wire protocol.
+
+    ``get``/``put``/``get_many``/``put_many``/``get_timings`` are
+    *lenient*: any transport or protocol problem reads as a miss (or a
+    dropped write) and the sweep recomputes — see the module docstring
+    for why. Introspection (``keys``, ``len``, ``stats``, ``gc``) is
+    *strict* and raises :class:`~repro.errors.CacheError`: those answers
+    are the point of the call, and a silently-empty one would lie.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        timeout: float = 10.0,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        self.url = _check_url(url)
+        if not isinstance(batch_size, int) or batch_size < 1:
+            raise InvalidParameterError(
+                f"batch_size must be an int >= 1, got {batch_size!r}"
+            )
+        self.timeout = float(timeout)
+        self.batch_size = batch_size
+
+    # -- wire helpers ---------------------------------------------------
+    def _record_path(self, key: str) -> str:
+        return f"/records/{urllib.parse.quote(key, safe='')}"
+
+    def _chunks(self, items: Sequence[Any]) -> Iterator[Sequence[Any]]:
+        for start in range(0, len(items), self.batch_size):
+            yield items[start : start + self.batch_size]
+
+    # -- lenient cache traffic ------------------------------------------
+    def get(self, key: str) -> dict[str, Any] | None:
+        try:
+            status, payload = _http_json(
+                self.url, "GET", self._record_path(key), timeout=self.timeout
+            )
+        except CacheError:
+            return None
+        if status != 200 or not isinstance(payload, dict):
+            return None
+        return payload
+
+    def put(self, key: str, payload: dict[str, Any]) -> None:
+        try:
+            _http_json(
+                self.url,
+                "PUT",
+                self._record_path(key),
+                payload,
+                timeout=self.timeout,
+            )
+        except CacheError:
+            pass  # dropped write: the entry is recomputable by contract
+
+    def get_many(self, keys: Sequence[str]) -> dict[str, dict[str, Any]]:
+        """Fetch many entries in ``batch_size``-bounded round trips.
+
+        Missing keys are simply absent from the result; a failed chunk
+        contributes nothing (its keys read as misses).
+        """
+        found: dict[str, dict[str, Any]] = {}
+        for chunk in self._chunks(list(keys)):
+            try:
+                status, reply = _http_json(
+                    self.url,
+                    "POST",
+                    "/records:batch",
+                    {"get": list(chunk)},
+                    timeout=self.timeout,
+                )
+            except CacheError:
+                continue
+            if status != 200 or not isinstance(reply, dict):
+                continue
+            records = reply.get("records")
+            if isinstance(records, dict):
+                for key, payload in records.items():
+                    if isinstance(payload, dict):
+                        found[key] = payload
+        return found
+
+    def put_many(self, entries: Mapping[str, dict[str, Any]]) -> None:
+        """Store many entries in ``batch_size``-bounded round trips."""
+        items = list(entries.items())
+        for chunk in self._chunks(items):
+            try:
+                _http_json(
+                    self.url,
+                    "POST",
+                    "/records:batch",
+                    {"put": dict(chunk)},
+                    timeout=self.timeout,
+                )
+            except CacheError:
+                pass
+
+    def get_timings(self, keys: Sequence[str]) -> dict[str, float]:
+        """Bulk ``wall_time`` lookup — the cost model's one round trip
+        (per chunk) instead of one per key."""
+        out: dict[str, float] = {}
+        for chunk in self._chunks(list(keys)):
+            try:
+                status, reply = _http_json(
+                    self.url,
+                    "POST",
+                    "/timings",
+                    {"keys": list(chunk)},
+                    timeout=self.timeout,
+                )
+            except CacheError:
+                continue
+            if status != 200 or not isinstance(reply, dict):
+                continue
+            timings = reply.get("timings")
+            if isinstance(timings, dict):
+                for key, value in timings.items():
+                    if isinstance(value, (int, float)):
+                        out[key] = float(value)
+        return out
+
+    def get_timing(self, key: str) -> float | None:
+        return self.get_timings([key]).get(key)
+
+    # -- strict introspection -------------------------------------------
+    def _strict(self, method: str, path: str, body: Any | None = None) -> Any:
+        status, reply = _http_json(
+            self.url, method, path, body, timeout=self.timeout
+        )
+        if status != 200 or not isinstance(reply, dict):
+            detail = (
+                reply.get("error")
+                if isinstance(reply, dict)
+                else "no usable JSON body"
+            )
+            raise CacheError(
+                f"cache server {self.url} answered {method} {path} with "
+                f"status {status}: {detail}"
+            )
+        return reply
+
+    def keys(self) -> Iterator[str]:
+        reply = self._strict("GET", "/keys")
+        keys = reply.get("keys")
+        if not isinstance(keys, list):
+            raise CacheError(
+                f"cache server {self.url} GET /keys returned no 'keys' list"
+            )
+        yield from (str(key) for key in keys)
+
+    def stats(self) -> dict[str, Any]:
+        """The server's stats (its backend, entries, bytes, timing
+        coverage), stamped with this client's URL."""
+        reply = self._strict("GET", "/stats")
+        server = reply.get("backend", "?")
+        return {
+            **reply,
+            "backend": f"http({server})",
+            "location": self.url,
+        }
+
+    def gc(self, older_than: float) -> int:
+        reply = self._strict("POST", "/gc", {"older_than": float(older_than)})
+        return int(reply.get("removed", 0))
+
+    def close(self) -> None:
+        """No-op: every round trip opens and closes its own connection."""
+
+    def __enter__(self) -> "HttpCache":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        entries = self._strict("GET", "/stats").get("entries")
+        if not isinstance(entries, int):
+            raise CacheError(
+                f"cache server {self.url} GET /stats returned no entry count"
+            )
+        return entries
+
+
+class HttpClaimTable:
+    """Client of the cache server's shared claim table.
+
+    Joining (the constructor) creates the table idempotently: the first
+    worker to arrive creates it, later workers join it, and a worker
+    whose ``total`` disagrees is rejected with a
+    :class:`~repro.errors.CacheError` — differing totals mean the
+    workers compiled different request lists and must not cooperate.
+
+    ``token`` is the server-minted identity of this claim session.
+    Every cooperating worker reads back the same token and stamps it
+    into its shard file as the assignment fingerprint, which is how
+    ``--merge`` recognizes dynamically-claimed shards as one run.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        claim_id: str,
+        total: int,
+        *,
+        timeout: float = 10.0,
+    ) -> None:
+        if not isinstance(total, int) or total < 0:
+            raise InvalidParameterError(
+                f"claim-table total must be an int >= 0, got {total!r}"
+            )
+        self.url = _check_url(url)
+        self.claim_id = str(claim_id)
+        self.total = total
+        self.timeout = float(timeout)
+        status, reply = _http_json(
+            self.url,
+            "POST",
+            self._path(""),
+            {"total": total},
+            timeout=self.timeout,
+        )
+        if status == 409:
+            detail = (reply or {}).get("error", "total mismatch")
+            raise CacheError(
+                f"claim table {self.claim_id} on {self.url} rejected this "
+                f"worker: {detail} — the workers compiled different "
+                "request lists and cannot cooperate on one sweep"
+            )
+        if status != 200 or not isinstance(reply, dict) or "token" not in reply:
+            raise CacheError(
+                f"cache server {self.url} could not create claim table "
+                f"{self.claim_id} (status {status}): {reply!r}"
+            )
+        self.token = str(reply["token"])
+
+    def _path(self, suffix: str) -> str:
+        return f"/claims/{urllib.parse.quote(self.claim_id, safe='')}{suffix}"
+
+    def claim(self, count: int = 1) -> list[int]:
+        """Atomically claim up to ``count`` unclaimed positions.
+
+        An empty list means the table is drained — this worker is done.
+        Strict by design: a transport failure raises rather than letting
+        the worker invent positions.
+        """
+        if not isinstance(count, int) or count < 1:
+            raise InvalidParameterError(
+                f"claim count must be an int >= 1, got {count!r}"
+            )
+        status, reply = _http_json(
+            self.url,
+            "POST",
+            self._path("/next"),
+            {"count": count},
+            timeout=self.timeout,
+        )
+        positions = (
+            reply.get("positions") if isinstance(reply, dict) else None
+        )
+        # Element-wise validation, not int() coercion: a version-skewed
+        # server replying ["abc"] must fail as the claim fault it is
+        # (not a raw ValueError), and [1.5] must not silently truncate
+        # onto a position another worker legitimately claimed.
+        if (
+            status != 200
+            or not isinstance(positions, list)
+            or any(
+                not isinstance(position, int) or isinstance(position, bool)
+                for position in positions
+            )
+        ):
+            raise CacheError(
+                f"claim table {self.claim_id} on {self.url} failed to hand "
+                f"out positions (status {status}): {reply!r}"
+            )
+        return list(positions)

@@ -36,13 +36,19 @@ from __future__ import annotations
 
 import heapq
 import math
+import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    as_completed,
+    wait,
+)
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Iterator, Mapping, Sequence
+from typing import Any, Callable, Iterator, Mapping, Protocol, Sequence
 
-from ..errors import InvalidParameterError
+from ..errors import CacheError, InvalidParameterError
 from ..io.serialize import (
     SCHEMA_VERSION,
     instance_to_dict,
@@ -58,6 +64,8 @@ __all__ = [
     "RunRecord",
     "RunnerStats",
     "BatchRunner",
+    "ClaimTable",
+    "InProcessClaimTable",
     "request_key",
     "evaluate_request",
     "merge_shards",
@@ -72,8 +80,63 @@ __all__ = [
 #: (2: added the measured ``wall_time`` field.)
 RECORD_VERSION = 2
 
-#: Shard-scheduling strategies :func:`shard_assignment` understands.
-SHARD_STRATEGIES = ("rr", "lpt")
+#: Shard-scheduling strategies. ``rr`` and ``lpt`` are *static* — pure
+#: functions :func:`shard_assignment` computes up front — while
+#: ``steal`` is *dynamic*: membership is decided cell by cell at run
+#: time through a shared :class:`ClaimTable`
+#: (:meth:`BatchRunner.run_stolen`), so it has no precomputable
+#: assignment vector.
+SHARD_STRATEGIES = ("rr", "lpt", "steal")
+
+
+class ClaimTable(Protocol):
+    """What work-stealing execution needs from a claim source.
+
+    One claim table fronts one compiled request list; ``claim(count)``
+    atomically hands out up to ``count`` not-yet-claimed request
+    positions (each position exactly once, across every cooperating
+    worker), and an empty list means the table is drained. Two
+    implementations ship: :class:`InProcessClaimTable` (threads of one
+    process) and :class:`repro.engine.remote.HttpClaimTable` (workers on
+    separate machines, served by ``repro cache-serve``).
+    """
+
+    def claim(self, count: int = 1) -> list[int]: ...
+
+
+class InProcessClaimTable:
+    """A lock-guarded claim cursor for single-host runs.
+
+    The in-process coordinator: several runners (threads) sharing one
+    instance partition ``0..total-1`` between them dynamically — each
+    claims the next position the moment it finishes the last one, so a
+    runner stuck on an expensive cell simply claims fewer.
+    """
+
+    def __init__(self, total: int) -> None:
+        if not isinstance(total, int) or total < 0:
+            raise InvalidParameterError(
+                f"claim-table total must be an int >= 0, got {total!r}"
+            )
+        self.total = total
+        self._cursor = 0
+        self._lock = threading.Lock()
+
+    def claim(self, count: int = 1) -> list[int]:
+        if not isinstance(count, int) or count < 1:
+            raise InvalidParameterError(
+                f"claim count must be an int >= 1, got {count!r}"
+            )
+        with self._lock:
+            take = min(count, self.total - self._cursor)
+            positions = list(range(self._cursor, self._cursor + take))
+            self._cursor += take
+            return positions
+
+    @property
+    def remaining(self) -> int:
+        with self._lock:
+            return self.total - self._cursor
 
 
 @dataclass(frozen=True)
@@ -348,6 +411,12 @@ def shard_assignment(
         raise InvalidParameterError(f"shard count must be an int >= 1, got {count!r}")
     if strategy == "rr":
         return [position % count for position in range(total)]
+    if strategy == "steal":
+        raise InvalidParameterError(
+            "'steal' is a dynamic strategy with no precomputable "
+            "assignment — run it through BatchRunner.run_stolen with a "
+            "ClaimTable (CLI: --shard-strategy steal --cache-url ...)"
+        )
     if strategy != "lpt":
         raise InvalidParameterError(
             f"unknown shard strategy {strategy!r}; "
@@ -521,6 +590,32 @@ class BatchRunner:
         """Convenience wrapper: evaluate a single cell."""
         return self.run([RunRequest(algorithm, instance)])[0]
 
+    def _probe_cache(
+        self, keys: Sequence[str]
+    ) -> Iterator[tuple[str, dict[str, Any]]]:
+        """Yield ``(key, payload)`` for every cache hit among ``keys``.
+
+        Backends with a ``get_many`` (remote/tiered) are probed in
+        chunks of their ``batch_size`` — one round trip per chunk
+        instead of one per key; everything else falls back to per-key
+        ``get``. Either way hits stream out chunk by chunk.
+        """
+        fetch_many = getattr(self.cache, "get_many", None)
+        if fetch_many is None:
+            for key in keys:
+                payload = self.cache.get(key)
+                if payload is not None:
+                    yield key, payload
+            return
+        chunk = max(1, int(getattr(self.cache, "batch_size", 32)))
+        for start in range(0, len(keys), chunk):
+            block = keys[start : start + chunk]
+            found = fetch_many(block)
+            for key in block:
+                payload = found.get(key)
+                if payload is not None:
+                    yield key, payload
+
     def iter_records(
         self, requests: Sequence[RunRequest]
     ) -> Iterator[tuple[int, RunRecord]]:
@@ -550,16 +645,15 @@ class BatchRunner:
 
         # Stream cache hits as they are fetched — each payload (which
         # carries a full serialized schedule) is yielded and released
-        # before the next is read, so a warm sweep's peak memory is one
-        # payload, not the whole grid.
+        # before the next chunk is read, so a warm sweep's peak memory
+        # is one probe chunk, not the whole grid. Backends exposing
+        # get_many (the HTTP backend, tiered stacks over it) are probed
+        # in batched round trips to amortize network latency.
         hit_keys: set[str] = set()
         if self.cache is not None:
-            for key, indexes in positions.items():
-                payload = self.cache.get(key)
-                if payload is None:
-                    continue
+            for key, payload in self._probe_cache(list(positions)):
                 hit_keys.add(key)
-                for index in indexes:
+                for index in positions[key]:
                     self.stats.cache_hits += 1
                     yield index, _record_from_payload(
                         payload, key=key, cached=True, tag=requests[index].tag
@@ -656,6 +750,163 @@ class BatchRunner:
                 on_record(record, done, total)
         return records  # type: ignore[return-value]  # every slot filled
 
+    def iter_stolen(
+        self, requests: Sequence[RunRequest], claims: ClaimTable
+    ) -> Iterator[tuple[int, RunRecord]]:
+        """Work-stealing streaming execution over a shared claim table.
+
+        Every cooperating worker holds the *same* ``requests`` list and
+        a claim table fronting it; each claims positions one at a time
+        and yields ``(position, record)`` pairs as they complete, so a
+        worker bogged down in an expensive cell simply claims fewer —
+        the queue drains into whoever is fastest *right now*, with no
+        precomputed split and no cost model needed.
+
+        Per claimed cell: a cache probe first (hits stream back without
+        occupying a pool slot), then evaluation — serial for
+        ``workers=1`` (claiming one cell at a time, the finest stealing
+        granularity), otherwise on a process pool that keeps at most
+        ``workers`` cells in flight, claims free-slot-sized blocks, and
+        batch-probes each block through the cache's ``get_many`` when it
+        has one (claiming ahead of capacity would hoard cells a faster
+        worker should steal). In-batch deduplication does not apply —
+        positions are claimed individually — but a shared cache gives
+        duplicate cells across workers one computation in practice.
+
+        The union of every worker's pairs is exactly the full request
+        list, each position once; sorting by position reproduces the
+        unsharded :meth:`run` measurements bit for bit.
+        """
+        requests = list(requests)
+        total = len(requests)
+
+        def resolve(position: int) -> tuple[RunRequest, str]:
+            if not isinstance(position, int) or not 0 <= position < total:
+                # A fabric fault, not a parameter problem: CacheError,
+                # like every other claim-table conflict.
+                raise CacheError(
+                    f"claim table handed out position {position!r}, valid "
+                    f"range is 0..{total - 1} — claim table and request "
+                    "list are out of sync"
+                )
+            request = requests[position]
+            return request, request_key(request.algorithm, request.instance)
+
+        def hit(key: str) -> dict[str, Any] | None:
+            if self.cache is None:
+                return None
+            return self.cache.get(key)
+
+        def fresh(
+            position: int, key: str, payload: dict[str, Any]
+        ) -> tuple[int, RunRecord]:
+            self.stats.computed += 1
+            if self.cache is not None:
+                self.cache.put(key, payload)
+            return position, _record_from_payload(
+                payload, key=key, cached=False, tag=requests[position].tag
+            )
+
+        if self.workers == 1:
+            while True:
+                claimed = claims.claim()
+                if not claimed:
+                    return
+                for position in claimed:
+                    request, key = resolve(position)
+                    payload = hit(key)
+                    if payload is not None:
+                        self.stats.cache_hits += 1
+                        yield position, _record_from_payload(
+                            payload, key=key, cached=True, tag=request.tag
+                        )
+                        continue
+                    yield fresh(position, key, evaluate_request(request))
+
+        pool = ProcessPoolExecutor(max_workers=self.workers)
+        in_flight: dict[Any, tuple[int, str]] = {}
+        drained = False
+        try:
+            while True:
+                # Top up to `workers` cells in flight; cache hits stream
+                # straight through without consuming a slot. Claiming a
+                # free-slot-sized block (instead of one cell at a time)
+                # lets the cache probe batch over it — one get_many
+                # round trip per block against a remote backend — while
+                # still never hoarding more cells than this worker can
+                # process right now.
+                while not drained and len(in_flight) < self.workers:
+                    claimed = claims.claim(self.workers - len(in_flight))
+                    if not claimed:
+                        drained = True
+                        break
+                    resolved = [resolve(position) for position in claimed]
+                    hits = (
+                        dict(
+                            self._probe_cache([key for _, key in resolved])
+                        )
+                        if self.cache is not None
+                        else {}
+                    )
+                    for position, (request, key) in zip(claimed, resolved):
+                        payload = hits.get(key)
+                        if payload is not None:
+                            self.stats.cache_hits += 1
+                            yield position, _record_from_payload(
+                                payload, key=key, cached=True, tag=request.tag
+                            )
+                        else:
+                            future = pool.submit(evaluate_request, request)
+                            in_flight[future] = (position, key)
+                if not in_flight:
+                    return
+                done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+                for future in done:
+                    position, key = in_flight.pop(future)
+                    yield fresh(position, key, future.result())
+        finally:
+            # Reached on exhaustion, on a worker exception, and on
+            # GeneratorExit: cancel queued cells instead of silently
+            # computing-and-discarding. Unstarted claimed cells are
+            # lost to this claim session — the merge step detects the
+            # hole loudly rather than re-issuing positions.
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def run_stolen(
+        self,
+        requests: Sequence[RunRequest],
+        claims: ClaimTable,
+        *,
+        on_record: Callable[[RunRecord, int, int], None] | None = None,
+    ) -> list[tuple[int, RunRecord]]:
+        """Drain the claim table; return this worker's ``(position,
+        record)`` pairs sorted by position.
+
+        The work-stealing analogue of :meth:`run`: positions are
+        ascending (a worker's records are in request order for the
+        positions it won), so concatenating every worker's pairs and
+        sorting by position is byte-identical to the unsharded run.
+        ``on_record(record, done, total)`` fires in completion order;
+        ``total`` is the full grid size — how much of it this worker
+        ends up doing is decided by the stealing itself.
+        """
+        pairs: list[tuple[int, RunRecord]] = []
+        seen: set[int] = set()
+        done = 0
+        for position, record in self.iter_stolen(requests, claims):
+            if position in seen:
+                raise CacheError(
+                    f"claim table handed out position {position} twice — "
+                    "it does not implement exactly-once claiming"
+                )
+            seen.add(position)
+            pairs.append((position, record))
+            done += 1
+            if on_record is not None:
+                on_record(record, done, len(requests))
+        pairs.sort(key=lambda pair: pair[0])
+        return pairs
+
     def estimate_costs(
         self, requests: Sequence[RunRequest], *, default: float = 1.0
     ) -> list[float]:
@@ -665,28 +916,43 @@ class BatchRunner:
         in the cache backend — any :class:`~repro.engine.cache.
         CacheBackend` works, which is how a warm sweep's timings become
         the next sweep's LPT schedule. A backend exposing ``get_timing``
-        (the :class:`~repro.engine.cache.SqliteCache` column fast path)
-        answers without parsing full payloads. Requests with no cached
-        timing (or a timing from a build that predates measurement)
-        estimate at ``default``, so a cold cache degrades to count
-        balancing rather than failing.
+        (the :class:`~repro.engine.cache.SqliteCache` column, the
+        :class:`~repro.engine.cache.DirectoryCache` ``.timing`` sidecar)
+        answers without parsing full payloads, and one exposing bulk
+        ``get_timings`` (the HTTP backend, tiered stacks) answers the
+        whole request list in batched round trips instead of one per
+        key. Requests with no cached timing (or a timing from a build
+        that predates measurement) estimate at ``default``, so a cold
+        cache degrades to count balancing rather than failing.
         """
         if self.cache is None:
             return [float(default)] * len(requests)
-        probe = getattr(self.cache, "get_timing", None)
-        estimates = []
+        keys = [
+            request_key(request.algorithm, request.instance)
+            for request in requests
+        ]
         memo: dict[str, float] = {}  # duplicate cells share one lookup
-        for request in requests:
-            key = request_key(request.algorithm, request.instance)
+        bulk = getattr(self.cache, "get_timings", None)
+        probe = getattr(self.cache, "get_timing", None)
+        if bulk is not None:
+            unique = list(dict.fromkeys(keys))
+            fetched = bulk(unique)
+
+            def lookup(key: str) -> float | None:
+                return fetched.get(key)
+        elif probe is not None:
+            lookup = probe
+        else:
+
+            def lookup(key: str) -> float | None:
+                payload = self.cache.get(key)
+                return payload.get("wall_time") if payload is not None else None
+
+        estimates = []
+        for key in keys:
             estimate = memo.get(key)
             if estimate is None:
-                if probe is not None:
-                    cost = probe(key)
-                else:
-                    payload = self.cache.get(key)
-                    cost = (
-                        payload.get("wall_time") if payload is not None else None
-                    )
+                cost = lookup(key)
                 if (
                     cost is None
                     or not math.isfinite(float(cost))

@@ -18,6 +18,7 @@ __all__ = [
     "SolverError",
     "ConvergenceError",
     "CertificateError",
+    "CacheError",
 ]
 
 
@@ -68,6 +69,17 @@ class ConvergenceError(SolverError):
     def __init__(self, message: str, best: object | None = None) -> None:
         super().__init__(message)
         self.best = best
+
+
+class CacheError(ReproError, RuntimeError):
+    """A cache backend failed beyond a simple miss.
+
+    Raised for conditions a caller asked about explicitly and cannot
+    sensibly paper over — an unreachable cache server when listing keys
+    or reading stats, a claim-table conflict between work-stealing
+    workers. Plain ``get``/``put`` traffic never raises this: a broken
+    remote degrades to misses (recompute), by design.
+    """
 
 
 class CertificateError(ReproError, AssertionError):

@@ -1,4 +1,9 @@
-"""Persistence (JSON schemas) and the command-line interface."""
+"""Persistence (JSON schemas), the CLI, and the cache-fabric server.
+
+:mod:`repro.io.server` (the HTTP cache service behind ``repro
+cache-serve``) is imported on demand, not here — plain ``import
+repro.io`` stays cheap.
+"""
 
 from .serialize import (
     SCHEMA_VERSION,

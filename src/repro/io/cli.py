@@ -28,12 +28,23 @@ Subcommands
     algorithms, including parameterized variant specs (``pd?delta=0.05``)
     and declarative variant axes (``--variant delta=0.01,0.05``).
     Optionally parallel (``--workers``), cached (``--cache`` +
-    ``--cache-backend {dir,sqlite}``), streamed (``--progress`` prints a
+    ``--cache-backend {dir,sqlite,memory,http,tiered}``; ``http`` talks
+    to a ``cache-serve`` process at ``--cache-url``, ``tiered`` stacks
+    memory → local dir → remote), streamed (``--progress`` prints a
     completion-order ticker to stderr), and split across machines
     (``--shard i/k`` to compute one deterministic slice —
     ``--shard-strategy lpt`` balances the slices by measured per-cell
-    cost from the cache — ``--merge shard0.json shard1.json ...`` to
-    recombine slices into the exact unsharded result).
+    cost from the cache, ``--shard-strategy steal`` claims cells
+    dynamically from the cache server's shared claim table —
+    ``--merge shard0.json shard1.json ...`` to recombine slices into
+    the exact unsharded result).
+``cache-serve``
+    Serve a local cache backend (and the work-stealing claim table)
+    over HTTP for a fleet of sweep workers.
+``cache``
+    Cache maintenance: ``stats`` (backend, entries, bytes, timing
+    coverage — any backend, including a remote server) and ``gc
+    --older-than`` (prune old entries and stale temp files).
 
 The CLI is a thin shell over the library: every subcommand body is a few
 calls into the public API, which keeps it honest as documentation.
@@ -43,6 +54,7 @@ from __future__ import annotations
 
 import argparse
 import math
+import os
 import sys
 from typing import Callable, Sequence
 
@@ -216,13 +228,30 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument(
         "--cache",
         default=None,
-        help="content-addressed result-cache path (directory or sqlite file)",
+        help=(
+            "content-addressed result-cache path (directory or sqlite "
+            "file; the local tier for --cache-backend tiered)"
+        ),
     )
     swp.add_argument(
         "--cache-backend",
-        choices=sorted(_cache_backends()),
+        choices=sorted([*_cache_backends(), "tiered"]),
         default="dir",
-        help="cache backend for --cache (default: dir)",
+        help=(
+            "cache backend for --cache (default: dir); http talks to a "
+            "cache-serve process at --cache-url, tiered stacks "
+            "memory -> --cache dir -> --cache-url remote"
+        ),
+    )
+    swp.add_argument(
+        "--cache-url",
+        default=None,
+        metavar="URL",
+        help=(
+            "base URL of a `repro cache-serve` process (for "
+            "--cache-backend http/tiered, and the claim table of "
+            "--shard-strategy steal)"
+        ),
     )
     swp.add_argument(
         "--shard",
@@ -235,13 +264,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     swp.add_argument(
         "--shard-strategy",
-        choices=["rr", "lpt"],
+        choices=["rr", "lpt", "steal"],
         default="rr",
         help=(
             "how --shard splits the grid: positional round-robin (rr, "
-            "default) or longest-processing-time balancing over measured "
+            "default), longest-processing-time balancing over measured "
             "per-cell costs read from --cache (lpt; cells without a "
-            "cached timing weigh 1.0)"
+            "cached timing weigh 1.0), or dynamic work stealing (steal; "
+            "each worker claims cells from the cache server's shared "
+            "claim table at --cache-url, so the shard index only labels "
+            "the worker)"
+        ),
+    )
+    swp.add_argument(
+        "--claim-session",
+        default="",
+        metavar="LABEL",
+        help=(
+            "label folded into the steal claim-table id (all cooperating "
+            "workers must pass the same one); use a fresh label to re-run "
+            "a sweep whose previous claim table the server still holds"
         ),
     )
     swp.add_argument(
@@ -262,6 +304,62 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument(
         "--json", dest="json_out", default=None, help="also write cells as JSON"
     )
+
+    srv = sub.add_parser(
+        "cache-serve",
+        help="serve a result cache (and the steal claim table) over HTTP",
+    )
+    srv.add_argument("path", help="cache path (directory or sqlite file)")
+    srv.add_argument(
+        "--backend",
+        choices=["dir", "memory", "sqlite"],
+        default="dir",
+        help="local backend to serve (default: dir; memory ignores path)",
+    )
+    srv.add_argument("--host", default="127.0.0.1", help="bind address")
+    srv.add_argument(
+        "--port", type=int, default=8080, help="bind port (0 = ephemeral)"
+    )
+    srv.add_argument(
+        "--verbose", action="store_true", help="log every request to stderr"
+    )
+
+    cch = sub.add_parser("cache", help="inspect and maintain result caches")
+    cch_sub = cch.add_subparsers(dest="cache_command", required=True)
+    for name, blurb in (
+        ("stats", "backend, entry count, total bytes, timing coverage"),
+        ("gc", "prune entries older than --older-than (plus stale temp files)"),
+    ):
+        ccmd = cch_sub.add_parser(name, help=blurb)
+        ccmd.add_argument(
+            "--cache",
+            default=None,
+            help="cache path (directory or sqlite file)",
+        )
+        ccmd.add_argument(
+            "--cache-backend",
+            # no "memory": stats/gc on a cache born empty this very
+            # invocation could only ever report nothing
+            choices=sorted({*_cache_backends(), "tiered"} - {"memory"}),
+            default="dir",
+            help="backend at --cache (default: dir)",
+        )
+        ccmd.add_argument(
+            "--cache-url",
+            default=None,
+            metavar="URL",
+            help="a cache-serve URL (for --cache-backend http/tiered)",
+        )
+        if name == "gc":
+            ccmd.add_argument(
+                "--older-than",
+                required=True,
+                metavar="AGE",
+                help=(
+                    "prune entries older than this: seconds, or a number "
+                    "with an s/m/h/d/w suffix (e.g. 30d)"
+                ),
+            )
     return parser
 
 
@@ -421,6 +519,178 @@ def _parse_shard(text: str) -> tuple[int, int]:
         ) from None
 
 
+#: Age-suffix multipliers ``cache gc --older-than`` understands.
+_AGE_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0, "w": 604800.0}
+
+
+def _parse_age(text: str) -> float:
+    """``"90"`` → 90 s; ``"30d"`` → 30 days of seconds."""
+    cleaned = text.strip().lower()
+    multiplier = 1.0
+    if cleaned and cleaned[-1] in _AGE_UNITS:
+        multiplier = _AGE_UNITS[cleaned[-1]]
+        cleaned = cleaned[:-1]
+    try:
+        value = float(cleaned)
+    except ValueError:
+        value = -1.0
+    # Non-finite values must not slip through: NaN is incomparable (so
+    # `< 0` alone would admit it) and a NaN cutoff makes the sqlite
+    # backend's "created_at IS NULL" clause prune every legacy entry.
+    if not math.isfinite(value) or value < 0.0:
+        raise InvalidParameterError(
+            f"--older-than expects seconds or <number><s|m|h|d|w>, "
+            f"got {text!r}"
+        )
+    return value * multiplier
+
+
+def _open_cli_cache(
+    cache: str | None,
+    backend: str,
+    url: str | None,
+    *,
+    allow_bare_url: bool = False,
+):
+    """Open the cache a subcommand asked for, or ``None`` for no cache.
+
+    The three remote shapes: ``--cache-backend http`` is the server
+    alone (``--cache-url``), ``tiered`` is memory → local dir
+    (``--cache``) → server, and ``allow_bare_url`` lets a local-backend
+    invocation carry a ``--cache-url`` anyway (the steal strategy needs
+    the server for its claim table even when results cache elsewhere).
+    """
+    from ..engine.cache import MemoryCache, TieredCache, open_cache
+
+    if backend == "http":
+        if url is None:
+            raise InvalidParameterError(
+                "--cache-backend http needs --cache-url URL "
+                "(a running `repro cache-serve` process)"
+            )
+        if cache is not None:
+            raise InvalidParameterError(
+                "--cache-backend http stores nothing locally; drop --cache "
+                "or use --cache-backend tiered for a local tier"
+            )
+        return open_cache(url, "http")
+    if backend == "tiered":
+        if cache is None or url is None:
+            raise InvalidParameterError(
+                "--cache-backend tiered stacks memory -> local dir -> "
+                "remote; give both --cache (the local directory) and "
+                "--cache-url (the server)"
+            )
+        from ..engine.remote import HttpCache
+
+        return TieredCache(
+            [MemoryCache(), open_cache(cache, "dir"), HttpCache(url)]
+        )
+    if url is not None and not allow_bare_url:
+        raise InvalidParameterError(
+            "--cache-url only applies to --cache-backend http or tiered "
+            "(or to --shard-strategy steal, whose claim table lives on "
+            "the server)"
+        )
+    if backend == "memory":
+        if cache is not None:
+            raise InvalidParameterError(
+                "--cache-backend memory stores nothing on disk and would "
+                "silently ignore --cache; drop --cache for a transient "
+                "in-process cache, or pick dir/sqlite for the path"
+            )
+        return open_cache(None, "memory")
+    if cache is None:
+        return None
+    return open_cache(cache, backend)
+
+
+def _format_stats(stats: dict, indent: int = 0) -> list[str]:
+    """Human-readable lines for a backend-stats dict (tiers recurse)."""
+    pad = "  " * indent
+    location = stats.get("location") or stats.get("url")
+    lines = [
+        f"{pad}backend        : {stats.get('backend', '?')}"
+        + (f" ({location})" if location else "")
+    ]
+    entries = stats.get("entries")
+    if entries is not None:
+        lines.append(f"{pad}entries        : {entries}")
+    if stats.get("total_bytes") is not None:
+        lines.append(f"{pad}total bytes    : {stats['total_bytes']}")
+    timed = stats.get("timed_entries")
+    if timed is not None and entries is not None:
+        pct = (100.0 * timed / entries) if entries else 100.0
+        lines.append(
+            f"{pad}timing coverage: {timed}/{entries} ({pct:.1f}%)"
+        )
+    if stats.get("claim_tables"):
+        lines.append(f"{pad}claim tables   : {stats['claim_tables']}")
+    for tier in stats.get("tiers", ()):
+        lines.append(f"{pad}tier:")
+        lines.extend(_format_stats(tier, indent + 1))
+    return lines
+
+
+def _cmd_cache_serve(args: argparse.Namespace) -> int:
+    from ..engine.cache import open_cache
+    from .server import CacheServer
+
+    cache = open_cache(args.path, args.backend)
+    server = CacheServer(
+        cache, host=args.host, port=args.port, verbose=args.verbose
+    )
+    host, port = server.address
+    print(
+        f"serving {args.backend} cache {args.path} at http://{host}:{port} "
+        "(ctrl-c to stop)",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        cache.close()
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from ..engine.cache import backend_stats
+
+    if args.cache is None and args.cache_url is None:
+        raise InvalidParameterError(
+            "give --cache PATH (a local cache) or --cache-backend http "
+            "--cache-url URL (a cache server)"
+        )
+    if args.cache is not None and not os.path.exists(args.cache):
+        # Opening would silently create an empty store, and stats/gc on
+        # a cache born this very invocation could only mislead (a
+        # typo'd path would report "0 entries" for a populated cache).
+        raise InvalidParameterError(
+            f"no cache at {args.cache!r} — maintenance commands do not "
+            "create stores; check the path"
+        )
+    cache = _open_cli_cache(args.cache, args.cache_backend, args.cache_url)
+    try:
+        if args.cache_command == "stats":
+            for line in _format_stats(backend_stats(cache)):
+                print(line)
+            return 0
+        age = _parse_age(args.older_than)
+        collect = getattr(cache, "gc", None)
+        if collect is None:
+            raise InvalidParameterError(
+                f"backend {args.cache_backend!r} does not support gc"
+            )
+        removed = collect(age)
+        print(f"pruned {removed} entries older than {args.older_than}")
+        return 0
+    finally:
+        cache.close()
+
+
 def _variant_axes(specs: Sequence[str] | None) -> dict[str, list]:
     axes: dict[str, list] = {}
     for spec in specs or ():
@@ -494,6 +764,7 @@ def _merge_shard_files(paths: Sequence[str]):
     experiments = set()
     counts = set()
     assignments = set()
+    totals = set()
     for path in paths:
         payload = load_json(path)
         if payload.get("kind") != "sweep-shard":
@@ -506,6 +777,8 @@ def _merge_shard_files(paths: Sequence[str]):
         experiments.add(payload.get("experiment"))
         if "assignment" in payload:
             assignments.add(payload["assignment"])
+        if "total" in payload:
+            totals.add(int(payload["total"]))
         if index in by_index:
             raise InvalidParameterError(f"shard {index} given twice")
         by_index[int(index)] = [
@@ -522,8 +795,11 @@ def _merge_shard_files(paths: Sequence[str]):
             "shard files were cut from different shard assignments — with "
             "--shard-strategy lpt this means the invocations read different "
             "timing snapshots (e.g. earlier shards wrote new timings into "
-            "the shared cache). Re-cut every shard against the same frozen "
-            "cache state (a prior warm run, or a copy of the cache file)"
+            "the shared cache; re-cut every shard against the same frozen "
+            "cache state), and with --shard-strategy steal it means the "
+            "workers joined different claim sessions (e.g. the cache "
+            "server restarted between workers; re-run them against one "
+            "server lifetime)"
         )
     count = counts.pop()
     missing = sorted(set(range(count)) - set(by_index))
@@ -531,11 +807,21 @@ def _merge_shard_files(paths: Sequence[str]):
         raise InvalidParameterError(
             f"missing shard file(s) for index(es) {missing} of {count}"
         )
+    if len(totals) > 1:
+        raise InvalidParameterError(
+            f"shard files disagree on the grid size ({sorted(totals)}); "
+            "merge shards of one sweep only"
+        )
     shards = [by_index[i] for i in range(count)]
     experiment = experiments.pop()
     if any(positions_by_index[i] is None for i in range(count)):
         return experiment, merge_shards(shards)
-    total = sum(len(records) for records in shards)
+    # The declared grid size beats the record-count sum: with dynamic
+    # (steal) shards, a worker that claimed cells and died leaves a hole
+    # that only the declared total can expose — if the lost cells are
+    # the last positions of the grid, the surviving records still form
+    # a dense prefix a sum-based total would happily accept.
+    total = totals.pop() if totals else sum(len(s) for s in shards)
     assignment: list = [None] * total
     for shard, positions in positions_by_index.items():
         if len(positions) != len(by_index[shard]):
@@ -554,6 +840,15 @@ def _merge_shard_files(paths: Sequence[str]):
                     f"list (bad or duplicate position {position!r})"
                 )
             assignment[position] = shard
+    missing = sum(1 for owner in assignment if owner is None)
+    if missing:
+        raise InvalidParameterError(
+            f"shard files cover {total - missing} of {total} grid "
+            f"positions — {missing} cell(s) were claimed but never "
+            "computed (a worker died mid-run?); re-run the missing "
+            "worker(s) against a fresh claim session (cached cells "
+            "stream back instantly)"
+        )
     return experiment, merge_shards(shards, assignment=assignment)
 
 
@@ -583,7 +878,6 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         BatchRunner,
         ExperimentSpec,
         aggregate_records,
-        open_cache,
         record_to_payload,
         shard_assignment,
     )
@@ -651,10 +945,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         spec = ExperimentSpec(
             name=f"sweep:{args.family}", family=args.family, **common
         )
-    cache = (
-        open_cache(args.cache, args.cache_backend)
-        if args.cache is not None
-        else None
+    if args.shard_strategy == "steal":
+        if args.cache_url is None:
+            raise InvalidParameterError(
+                "--shard-strategy steal needs --cache-url: the shared "
+                "claim table lives on the cache server"
+            )
+        if not args.shard:
+            raise InvalidParameterError(
+                "--shard-strategy steal needs --shard I/K — each worker "
+                "invocation is one of the K cooperating shard files"
+            )
+    cache = _open_cli_cache(
+        args.cache,
+        args.cache_backend,
+        args.cache_url,
+        allow_bare_url=args.shard_strategy == "steal",
     )
     runner = BatchRunner(workers=args.workers, cache=cache)
     progress = _progress_printer(args)
@@ -672,20 +978,60 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                     f"--shard index must satisfy 0 <= I < K, got {args.shard!r}"
                 )
             requests = spec.requests()
-            costs = (
-                runner.estimate_costs(requests)
-                if args.shard_strategy == "lpt"
-                else None
-            )
-            assignment = shard_assignment(
-                len(requests), count, strategy=args.shard_strategy, costs=costs
-            )
-            positions = [
-                p for p in range(len(requests)) if assignment[p] == index
-            ]
-            records = runner.run(
-                [requests[p] for p in positions], on_record=progress
-            )
+            if args.shard_strategy == "steal":
+                from ..engine.remote import HttpClaimTable
+
+                # The claim id is the experiment fingerprint: workers
+                # that compiled different request lists land on
+                # different tables (or are rejected on a total
+                # mismatch) instead of interleaving mismatched grids.
+                # Claim tables live for the server's lifetime, so
+                # re-running a finished sweep against the same server
+                # needs a fresh --claim-session label (the drained
+                # table would otherwise hand every worker nothing and
+                # the merge would fail loudly).
+                claim_id = spec.fingerprint(requests)
+                if args.claim_session:
+                    claim_id = f"{claim_id}-{args.claim_session}"
+                claims = HttpClaimTable(
+                    args.cache_url, claim_id, len(requests)
+                )
+                pairs = runner.run_stolen(
+                    requests, claims, on_record=progress
+                )
+                positions = [position for position, _ in pairs]
+                records = [record for _, record in pairs]
+                # The claim session's server-minted token plays the
+                # assignment-fingerprint role: every worker of one
+                # session stamps the same token, so --merge recognizes
+                # dynamically-claimed shards as one run.
+                fingerprint = claims.token
+            else:
+                costs = (
+                    runner.estimate_costs(requests)
+                    if args.shard_strategy == "lpt"
+                    else None
+                )
+                assignment = shard_assignment(
+                    len(requests),
+                    count,
+                    strategy=args.shard_strategy,
+                    costs=costs,
+                )
+                positions = [
+                    p for p in range(len(requests)) if assignment[p] == index
+                ]
+                records = runner.run(
+                    [requests[p] for p in positions], on_record=progress
+                )
+                # Fingerprint of the full split this shard was cut
+                # from: --merge compares it across files, so shards
+                # cut from disagreeing LPT cost snapshots (e.g. a
+                # cache that later shards mutated) fail with a
+                # targeted message instead of a confusing one.
+                fingerprint = stable_hash(
+                    {"kind": "shard-assignment", "assignment": assignment}
+                )
             save_json(
                 {
                     "schema": 1,
@@ -693,14 +1039,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                     "experiment": spec.name,
                     "shard": [index, count],
                     "strategy": args.shard_strategy,
-                    # Fingerprint of the full split this shard was cut
-                    # from: --merge compares it across files, so shards
-                    # cut from disagreeing LPT cost snapshots (e.g. a
-                    # cache that later shards mutated) fail with a
-                    # targeted message instead of a confusing one.
-                    "assignment": stable_hash(
-                        {"kind": "shard-assignment", "assignment": assignment}
-                    ),
+                    "assignment": fingerprint,
+                    # The full grid size: --merge validates the shards'
+                    # positions partition 0..total-1 exactly, so cells a
+                    # crashed steal worker claimed but never computed
+                    # are detected even when they sit at the very end
+                    # of the grid (a record-count sum could not see
+                    # such a tail hole).
+                    "total": len(requests),
                     "positions": positions,
                     "records": [record_to_payload(r) for r in records],
                 },
@@ -745,6 +1091,8 @@ _DISPATCH = {
     "profit": _cmd_profit,
     "adversary": _cmd_adversary,
     "sweep": _cmd_sweep,
+    "cache-serve": _cmd_cache_serve,
+    "cache": _cmd_cache,
 }
 
 

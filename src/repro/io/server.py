@@ -1,0 +1,420 @@
+"""The cache fabric service: any local backend, served over HTTP.
+
+``CacheServer`` wraps a :class:`~repro.engine.cache.CacheBackend` (a
+directory, a WAL-mode sqlite file, or a plain in-memory LRU) behind a
+small JSON/HTTP wire protocol, stdlib only (``http.server``), so fleets
+of workers on separate machines can share one result cache and one
+work-stealing claim table. The CLI front end is ``python -m repro
+cache-serve``; the client side is :mod:`repro.engine.remote`.
+
+Wire protocol (Python-dialect JSON — ``NaN`` literals allowed):
+
+| method + path            | request body                    | response |
+|--------------------------|---------------------------------|----------|
+| ``GET /records/<key>``   | —                               | 200 payload, or 404 |
+| ``PUT /records/<key>``   | payload object                  | 204 |
+| ``POST /records:batch``  | ``{"get": [keys], "put": {key: payload}}`` | 200 ``{"records": {...}, "stored": n}`` |
+| ``GET /timings``         | —                               | 200 ``{"timings": {key: seconds}}`` (all timed entries) |
+| ``POST /timings``        | ``{"keys": [keys]}``            | 200 ``{"timings": {...}}`` (subset) |
+| ``GET /keys``            | —                               | 200 ``{"keys": [...]}`` |
+| ``GET /stats``           | —                               | 200 backend stats + ``claim_tables`` |
+| ``POST /gc``             | ``{"older_than": seconds}``     | 200 ``{"removed": n}``, or 501 |
+| ``POST /claims/<id>``    | ``{"total": n}``                | 200 ``{"token", "total", "claimed"}``, 409 on total mismatch |
+| ``POST /claims/<id>/next`` | ``{"count": c}``              | 200 ``{"positions": [...], "token", "remaining"}`` |
+
+Claim tables implement work stealing: a table is created idempotently
+under a content-derived id (the experiment fingerprint), hands out
+positions ``0..total-1`` in order, at most once each, and remembers a
+server-minted session ``token`` that every cooperating worker stamps
+into its shard file — the merge step's proof that the shards partition
+one claim session.
+
+Every backend call is serialized behind one lock: handler threads never
+touch the backend concurrently, which is what lets a single sqlite
+connection (or an unsynchronized ``MemoryCache``) serve safely. Claim
+handouts are atomic behind their *own* lock — claim state never touches
+the backend, so a slow disk draining bulk record writes cannot stall
+the strict (timeout-bounded) claim traffic.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import urllib.parse
+import uuid
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Sequence
+
+from ..engine.cache import CacheBackend, backend_stats
+from ..errors import ReproError
+
+__all__ = ["CacheServer"]
+
+
+@dataclass
+class _ClaimState:
+    """One claim table: a cursor over ``0..total-1`` plus its session
+    token. Guarded by the server's claims lock."""
+
+    total: int
+    token: str
+    cursor: int = 0
+
+
+class _HttpStatus(Exception):
+    """An HTTP error response raised from request handling."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class CacheServer:
+    """Serve a :class:`CacheBackend` (and claim tables) over HTTP.
+
+    ``port=0`` binds an ephemeral port — read it back from
+    :attr:`address` / :attr:`url`. ``start()`` serves on a daemon
+    thread (tests, embedding); :meth:`serve_forever` serves on the
+    calling thread (the CLI). Neither closes the backend — its owner
+    does.
+    """
+
+    def __init__(
+        self,
+        cache: CacheBackend,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        verbose: bool = False,
+    ) -> None:
+        self.cache = cache
+        self.verbose = verbose
+        self._lock = threading.RLock()
+        # Claim state is pure in-memory and never touches the backend,
+        # so it gets its own lock: a slow disk draining bulk record
+        # writes must not stall claim handouts past the workers' strict
+        # timeout (claim faults abort workers by design).
+        self._claims_lock = threading.Lock()
+        self._claims: dict[str, _ClaimState] = {}
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.fabric = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def serve_forever(self) -> None:
+        self._httpd.serve_forever()
+
+    def start(self) -> "CacheServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    # -- backend operations (all serialized behind the lock) ------------
+    def get_record(self, key: str) -> dict[str, Any] | None:
+        with self._lock:
+            return self.cache.get(key)
+
+    def put_record(self, key: str, payload: dict[str, Any]) -> None:
+        with self._lock:
+            self.cache.put(key, payload)
+
+    def batch(
+        self, gets: Sequence[str], puts: dict[str, dict[str, Any]]
+    ) -> dict[str, Any]:
+        with self._lock:
+            for key, payload in puts.items():
+                self.cache.put(key, payload)
+            records = {}
+            for key in gets:
+                payload = self.cache.get(key)
+                if payload is not None:
+                    records[key] = payload
+        return {"records": records, "stored": len(puts)}
+
+    def timings(self, keys: Sequence[str] | None) -> dict[str, float]:
+        with self._lock:
+            probe = getattr(self.cache, "get_timing", None)
+            if keys is None:
+                keys = list(self.cache.keys())
+            out: dict[str, float] = {}
+            for key in keys:
+                if probe is not None:
+                    timing = probe(key)
+                else:
+                    payload = self.cache.get(key)
+                    timing = (
+                        payload.get("wall_time") if payload is not None else None
+                    )
+                if isinstance(timing, (int, float)):
+                    out[str(key)] = float(timing)
+        return out
+
+    def list_keys(self) -> list[str]:
+        with self._lock:
+            return sorted(self.cache.keys())
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            out = dict(backend_stats(self.cache))
+        with self._claims_lock:
+            out["claim_tables"] = len(self._claims)
+        return out
+
+    def gc(self, older_than: float) -> int:
+        collect = getattr(self.cache, "gc", None)
+        if collect is None:
+            raise _HttpStatus(
+                501, f"backend {type(self.cache).__name__} does not support gc"
+            )
+        with self._lock:
+            return int(collect(older_than))
+
+    # -- claim tables ---------------------------------------------------
+    def claim_create(self, claim_id: str, total: int) -> dict[str, Any]:
+        with self._claims_lock:
+            state = self._claims.get(claim_id)
+            if state is None:
+                state = _ClaimState(total=total, token=uuid.uuid4().hex)
+                self._claims[claim_id] = state
+            elif state.total != total:
+                raise _HttpStatus(
+                    409,
+                    f"claim table {claim_id} holds {state.total} positions, "
+                    f"this worker expects {total}",
+                )
+            return {
+                "claim": claim_id,
+                "total": state.total,
+                "token": state.token,
+                "claimed": state.cursor,
+            }
+
+    def claim_next(self, claim_id: str, count: int) -> dict[str, Any]:
+        with self._claims_lock:
+            state = self._claims.get(claim_id)
+            if state is None:
+                raise _HttpStatus(
+                    404, f"no claim table {claim_id}; create it first"
+                )
+            take = max(0, min(count, state.total - state.cursor))
+            positions = list(range(state.cursor, state.cursor + take))
+            state.cursor += take
+            return {
+                "positions": positions,
+                "token": state.token,
+                "remaining": state.total - state.cursor,
+            }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Route one request; all state lives on the :class:`CacheServer`."""
+
+    server_version = "repro-cache/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def fabric(self) -> CacheServer:
+        return self.server.fabric  # type: ignore[attr-defined]
+
+    # -- plumbing -------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:
+        if self.fabric.verbose:
+            sys.stderr.write(
+                "cache-serve: %s - %s\n"
+                % (self.address_string(), format % args)
+            )
+
+    def _segments(self) -> list[str]:
+        path = urllib.parse.urlparse(self.path).path
+        return [
+            urllib.parse.unquote(part)
+            for part in path.split("/")
+            if part
+        ]
+
+    @staticmethod
+    def _safe_name(name: str, what: str) -> str:
+        """Reject names that could escape a path-backed backend.
+
+        The split-then-unquote in :meth:`_segments` means a percent-
+        encoded slash (`..%2F..%2Fetc`) arrives as *one* segment — fed
+        raw into ``DirectoryCache._path`` it would join right out of
+        the cache directory. Legitimate keys are content hashes (and
+        claim ids are experiment fingerprints), so anything with a path
+        separator or a dot-dot is an attack or a bug, never traffic.
+        """
+        if (
+            not name
+            or "/" in name
+            or "\\" in name
+            or name in (".", "..")
+        ):
+            raise _HttpStatus(400, f"illegal {what} {name!r}")
+        return name
+
+    def _body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length > 0 else b""
+        if not raw:
+            return None
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError:
+            raise _HttpStatus(400, "request body is not JSON") from None
+
+    def _reply(self, status: int, payload: Any | None = None) -> None:
+        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        if body:
+            self.wfile.write(body)
+
+    def _dispatch(self, handler) -> None:
+        try:
+            handler()
+        except _HttpStatus as exc:
+            self._reply(exc.status, {"error": str(exc)})
+        except ReproError as exc:
+            self._reply(400, {"error": str(exc)})
+        except BrokenPipeError:  # client went away mid-response
+            pass
+        except Exception as exc:  # noqa: BLE001 - one request, not the server
+            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    # -- routes ---------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        self._dispatch(self._get)
+
+    def do_PUT(self) -> None:  # noqa: N802
+        self._dispatch(self._put)
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch(self._post)
+
+    def _get(self) -> None:
+        parts = self._segments()
+        if parts == ["stats"]:
+            self._reply(200, self.fabric.stats())
+        elif parts == ["keys"]:
+            self._reply(200, {"keys": self.fabric.list_keys()})
+        elif parts == ["timings"]:
+            self._reply(200, {"timings": self.fabric.timings(None)})
+        elif len(parts) == 2 and parts[0] == "records":
+            payload = self.fabric.get_record(
+                self._safe_name(parts[1], "record key")
+            )
+            if payload is None:
+                self._reply(404, {"error": f"no record {parts[1]}"})
+            else:
+                self._reply(200, payload)
+        else:
+            raise _HttpStatus(404, f"unknown route GET {self.path}")
+
+    def _put(self) -> None:
+        parts = self._segments()
+        if len(parts) == 2 and parts[0] == "records":
+            payload = self._body()
+            if not isinstance(payload, dict):
+                raise _HttpStatus(400, "record payload must be a JSON object")
+            self.fabric.put_record(
+                self._safe_name(parts[1], "record key"), payload
+            )
+            self._reply(204)
+        else:
+            raise _HttpStatus(404, f"unknown route PUT {self.path}")
+
+    def _post(self) -> None:
+        parts = self._segments()
+        if parts == ["records:batch"]:
+            body = self._body()
+            if not isinstance(body, dict):
+                raise _HttpStatus(400, "batch body must be a JSON object")
+            gets = body.get("get", [])
+            puts = body.get("put", {})
+            if not isinstance(gets, list) or not isinstance(puts, dict):
+                raise _HttpStatus(
+                    400, "batch body wants {'get': [keys], 'put': {key: payload}}"
+                )
+            for key in puts:
+                self._safe_name(str(key), "record key")
+            bad = [k for k, v in puts.items() if not isinstance(v, dict)]
+            if bad:
+                raise _HttpStatus(
+                    400, f"batch put payloads must be objects (bad: {bad[:3]})"
+                )
+            # Batch *gets* walk the same backend paths as single-record
+            # reads (and /timings can even trigger the DirectoryCache
+            # sidecar backfill write), so their keys go through the
+            # same traversal gate.
+            self._reply(
+                200,
+                self.fabric.batch(
+                    [self._safe_name(str(k), "record key") for k in gets],
+                    puts,
+                ),
+            )
+        elif parts == ["timings"]:
+            body = self._body()
+            keys = None if body is None else body.get("keys")
+            if keys is not None and not isinstance(keys, list):
+                raise _HttpStatus(400, "timings body wants {'keys': [keys]}")
+            if keys is not None:
+                keys = [
+                    self._safe_name(str(key), "record key") for key in keys
+                ]
+            self._reply(200, {"timings": self.fabric.timings(keys)})
+        elif parts == ["gc"]:
+            body = self._body()
+            older_than = (body or {}).get("older_than")
+            if not isinstance(older_than, (int, float)):
+                raise _HttpStatus(400, "gc body wants {'older_than': seconds}")
+            self._reply(200, {"removed": self.fabric.gc(float(older_than))})
+        elif len(parts) == 2 and parts[0] == "claims":
+            body = self._body()
+            total = (body or {}).get("total")
+            if not isinstance(total, int) or total < 0:
+                raise _HttpStatus(400, "claim body wants {'total': n >= 0}")
+            self._reply(
+                200,
+                self.fabric.claim_create(
+                    self._safe_name(parts[1], "claim id"), total
+                ),
+            )
+        elif len(parts) == 3 and parts[0] == "claims" and parts[2] == "next":
+            body = self._body()
+            count = (body or {}).get("count", 1)
+            if not isinstance(count, int) or count < 1:
+                raise _HttpStatus(400, "claim body wants {'count': n >= 1}")
+            self._reply(
+                200,
+                self.fabric.claim_next(
+                    self._safe_name(parts[1], "claim id"), count
+                ),
+            )
+        else:
+            raise _HttpStatus(404, f"unknown route POST {self.path}")
