@@ -1,52 +1,53 @@
 """Runtime scaling of the full PD pipeline.
 
 Not a paper artifact — an engineering bench tracking how wall-clock cost
-grows with instance size and processor count. PD's arrival step is
-O(N log p) water-level queries inside a bisection, with N <= 2n atomic
-intervals, so a full run is ~O(n^2 log n); the table makes regressions
-from that envelope visible.
+grows with instance size and processor count. Since the incremental
+kernel layer (``repro.perf``), a PD arrival costs O(window + split
+intervals) instead of O(n·N), so the grid runs to n = 2000 — ten times
+the historical ceiling — and still finishes faster than the seed's
+n = 200 row did.
+
+The sweep is the ``pd-scaling`` scenario of :mod:`repro.perf.bench`;
+besides the human-readable ``scaling.txt`` table it emits the
+machine-readable ``BENCH_scaling.json`` series (with an environment +
+calibration stamp) that the baseline-comparison gate tracks across
+commits.
 """
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
-from repro import dual_certificate, run_pd
-from repro.workloads import poisson_instance
+from repro.perf.bench import run_scenario, write_result
 
-from helpers import emit_table
-
-
-def scaling_sweep():
-    out = []
-    for n in [25, 50, 100, 200]:
-        for m in [1, 4]:
-            inst = poisson_instance(n, m=m, alpha=3.0, seed=0)
-            t0 = time.perf_counter()
-            result = run_pd(inst)
-            t_run = time.perf_counter() - t0
-            t0 = time.perf_counter()
-            cert = dual_certificate(result)
-            t_cert = time.perf_counter() - t0
-            assert cert.holds
-            out.append((n, m, t_run, t_cert, result.cost))
-    return out
+from helpers import RESULTS_DIR, emit_table
 
 
 @pytest.mark.benchmark(group="scaling")
 def test_scaling_pd_pipeline(benchmark):
-    data = benchmark.pedantic(scaling_sweep, rounds=1, iterations=1)
+    payload = benchmark.pedantic(
+        lambda: run_scenario("pd-scaling", grid="full"),
+        rounds=1,
+        iterations=1,
+    )
+    write_result(payload, RESULTS_DIR, name="scaling")
     rows = [
-        f"{n:>5d} {m:>3d} {1e3 * t_run:>12.1f} {1e3 * t_cert:>12.1f}"
-        for n, m, t_run, t_cert, _ in data
+        f"{row['n']:>5d} {row['m']:>3d} {1e3 * row['run_time']:>12.1f} "
+        f"{1e3 * row['certify_time']:>12.1f}"
+        for row in payload["series"]
     ]
     emit_table(
         "scaling",
         f"{'n':>5} {'m':>3} {'PD run (ms)':>12} {'certify (ms)':>12}",
         rows,
     )
-    # Soft envelope: 200 jobs must stay comfortably interactive.
-    worst = max(t for _, _, t, _, _ in data)
-    assert worst < 30.0, f"PD run took {worst:.1f}s — runtime regression"
+    # Soft envelopes: the pipeline must stay interactive across the
+    # whole grid, and n=2000 must run clearly sub-quadratically (the
+    # seed needed ~0.55 s for n=200; quadratic growth from there would
+    # put n=2000 at ~55 s).
+    worst = max(row["wall_time"] for row in payload["series"])
+    assert worst < 30.0, f"PD pipeline took {worst:.1f}s — runtime regression"
+    big = [row["wall_time"] for row in payload["series"] if row["n"] == 2000]
+    assert big and max(big) < 5.0, (
+        f"n=2000 pipeline took {max(big):.1f}s — incremental kernels regressed"
+    )

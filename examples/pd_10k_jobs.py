@@ -1,0 +1,90 @@
+"""PD at production scale: 10,000 jobs through run + certificate.
+
+The incremental kernel layer (PR 5, ``repro.perf``) prices each arrival
+against live per-interval sorted-load stores instead of rebuilding
+O(n · N) matrices, which moves PD's practical ceiling from a few
+hundred jobs to tens of thousands. This demo runs the full pipeline —
+online PD, then the machine-checkable Theorem 3 certificate — on a
+10k-job slotted workload shaped like a datacenter request stream:
+arrivals land on a coarse slot grid (requests batched per scheduling
+quantum), so the atomic-interval grid stays compact (~hundreds of
+intervals) while the job count scales freely.
+
+Run it:
+
+    PYTHONPATH=src python examples/pd_10k_jobs.py
+
+Expected: both phases complete in seconds, the certificate holds, and
+the certified ratio sits well under the alpha^alpha bound.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import Instance, Job, dual_certificate, run_pd
+
+
+def slotted_instance(
+    n: int = 10_000,
+    *,
+    slots: int = 400,
+    m: int = 4,
+    alpha: float = 3.0,
+    seed: int = 0,
+) -> Instance:
+    """A slotted request stream: ``n`` jobs over ``slots`` time slots.
+
+    Releases snap to slot boundaries and windows span 1–6 slots, so the
+    number of distinct event times — and with it the atomic grid — is
+    bounded by the slot count, not the job count.
+    """
+    rng = np.random.default_rng(seed)
+    release_slots = np.sort(rng.integers(0, slots, size=n))
+    spans = rng.integers(1, 7, size=n)
+    workloads = rng.exponential(1.0, size=n) + 1e-3
+    values = rng.uniform(0.05, 8.0, size=n) * workloads
+    jobs = [
+        Job(
+            release=float(release_slots[i]),
+            deadline=float(release_slots[i] + spans[i]),
+            workload=float(workloads[i]),
+            value=float(values[i]),
+        )
+        for i in range(n)
+    ]
+    return Instance(tuple(jobs), m=m, alpha=alpha)
+
+
+def main() -> None:
+    inst = slotted_instance()
+    print(
+        f"instance: {inst.n} jobs, m={inst.m}, alpha={inst.alpha}, "
+        f"{len(set(inst.event_times().tolist()))} distinct event times"
+    )
+
+    t0 = time.perf_counter()
+    result = run_pd(inst)
+    t_run = time.perf_counter() - t0
+    print(f"PD run     : {t_run:6.2f} s "
+          f"({1e3 * t_run / inst.n:.3f} ms/job, "
+          f"{int(result.accepted_mask.sum())}/{inst.n} accepted)")
+
+    t0 = time.perf_counter()
+    cert = dual_certificate(result)
+    t_cert = time.perf_counter() - t0
+    print(f"certificate: {t_cert:6.2f} s")
+
+    assert cert.holds, "Theorem 3 certificate must hold"
+    print(
+        f"cost {result.cost:.1f} <= alpha^alpha * g = "
+        f"{cert.bound:.1f} * {cert.g:.1f} "
+        f"(certified ratio {cert.ratio:.3f} of bound {cert.bound:.3f})"
+    )
+    print("10k-job pipeline: certificate holds")
+
+
+if __name__ == "__main__":
+    main()

@@ -135,19 +135,29 @@ def pool_level(existing_loads: FloatArray, m: int) -> float:
 
         ``d = #{loads > L}``  and  ``L = suffix_d / (m - d)``,
 
-    found by scanning candidate dedicated-counts. Runs in O(p log p).
+    found by testing every candidate dedicated-count in one vectorized
+    numpy scan (this query sits inside every price query of the
+    primal-dual water-filling). Runs in O(p log p) for the sort,
+    O(min(p, m)) for the scan.
     """
     arr = np.sort(np.ascontiguousarray(existing_loads, dtype=np.float64))[::-1]
     if m < 1:
         raise InvalidParameterError(f"m must be >= 1, got {m}")
     p = arr.size
     suffix = np.concatenate((np.cumsum(arr[::-1])[::-1], [0.0]))  # suffix[d] = sum arr[d:]
-    for d in range(0, min(p, m - 1) + 1):
-        level = float(suffix[d]) / (m - d)
-        upper_ok = d == 0 or float(arr[d - 1]) >= level - _LOAD_EPS
-        lower_ok = d >= p or float(arr[d]) <= level + _LOAD_EPS
-        if upper_ok and lower_ok:
-            return max(level, 0.0)
+    limit = min(p, m - 1)  # candidate counts d = 0..limit inclusive
+    ds = np.arange(limit + 1)
+    levels = suffix[: limit + 1] / (m - ds)
+    upper_ok = np.empty(limit + 1, dtype=bool)
+    upper_ok[0] = True  # d == 0 has no load standing above the level
+    if limit:
+        upper_ok[1:] = arr[:limit] >= levels[1:] - _LOAD_EPS
+    lower_ok = np.ones(limit + 1, dtype=bool)
+    in_range = ds < p
+    lower_ok[in_range] = arr[ds[in_range]] <= levels[in_range] + _LOAD_EPS
+    hits = np.nonzero(upper_ok & lower_ok)[0]
+    if hits.size:
+        return max(float(levels[hits[0]]), 0.0)
     # Unreachable for valid inputs; kept as a loud guard.
     raise InvalidParameterError("no consistent pool level found")  # pragma: no cover
 

@@ -123,14 +123,24 @@ def run_oa(instance: Instance) -> OAResult:
     deadlines = {j: ordered[j].deadline for j in range(n)}
     executed: list[tuple[int, float, float, float]] = []
 
+    # Releases are sorted, so the known set is a growing prefix, and
+    # the "any work left" test is a maintained set of unfinished known
+    # jobs — O(1) per epoch instead of an O(n) rescan (the replan itself
+    # is the same batched YDS call either way).
+    known_count = 0
+    unfinished: set[int] = set()
+
     for idx, t in enumerate(epochs):
         t_next = epochs[idx + 1] if idx + 1 < len(epochs) else horizon_end
-        known = [j for j in range(n) if releases[j] <= t + _EPS]
-        if not any(remaining[j] > _WORK_TOL for j in known):
+        while known_count < n and releases[known_count] <= t + _EPS:
+            if remaining[known_count] > _WORK_TOL:
+                unfinished.add(known_count)
+            known_count += 1
+        if not unfinished:
             continue
         plan = oa_plan(
             now=t,
-            job_ids=known,
+            job_ids=list(range(known_count)),
             remaining=remaining,
             deadlines=deadlines,
             alpha=ordered.alpha,
@@ -145,6 +155,8 @@ def run_oa(instance: Instance) -> OAResult:
             remaining[job] -= (hi - a) * speed
             if remaining[job] < 0.0:
                 remaining[job] = 0.0
+            if remaining[job] <= _WORK_TOL:
+                unfinished.discard(job)
 
     schedule = schedule_from_segments(
         ordered, executed, np.ones(n, dtype=bool)

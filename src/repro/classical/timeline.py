@@ -153,18 +153,31 @@ def edf_execute(
         cuts = [a] + [t for t in cut_points if a < t < b] + [b]
         pieces.extend((cuts[i], cuts[i + 1]) for i in range(len(cuts) - 1))
 
+    # EDF selection through a lazy-deletion heap keyed (deadline, id) —
+    # the same minimum the historical O(n) ready-rescan computed each
+    # step. Every release inside a region part is a piece boundary, so
+    # jobs become ready only at piece starts; the release pointer walks
+    # the release-sorted job list once.
+    by_release = sorted(range(n), key=lambda i: (rel[job_ids[i]], job_ids[i]))
+    release_ptr = 0
+    heap: list[tuple[float, int]] = []
+
     segments: list[tuple[int, float, float, float]] = []
     for a, b in pieces:
         t = a
-        while t < b - _EPS:
-            ready = [
-                j
-                for j, w in remaining.items()
-                if w > work_tol and rel[j] <= t + _EPS
-            ]
-            if not ready:
+        while release_ptr < n:
+            j = job_ids[by_release[release_ptr]]
+            if rel[j] > t + _EPS:
                 break
-            j = min(ready, key=lambda jid: (dl[jid], jid))
+            if remaining[j] > work_tol:
+                heapq.heappush(heap, (dl[j], j))
+            release_ptr += 1
+        while t < b - _EPS:
+            while heap and remaining[heap[0][1]] <= work_tol:
+                heapq.heappop(heap)
+            if not heap:
+                break
+            j = heap[0][1]
             finish_in = remaining[j] / speed
             run_until = min(b, t + finish_in)
             if run_until <= t + _EPS:

@@ -17,22 +17,33 @@ is ``alpha**alpha``-competitive on any number of processors (Theorem 3),
 and every run carries a machine-checkable certificate: the dual value
 ``g(lambda~)`` computed by :mod:`repro.analysis.certificates` satisfies
 ``cost(PD) <= alpha**alpha * g(lambda~) <= alpha**alpha * cost(OPT)``.
+
+Implementation note (PR 5): the scheduler runs on the incremental
+kernels of :mod:`repro.perf.kernels`. Each atomic interval owns a live
+:class:`~repro.perf.kernels.IntervalLoads` store (descending-sorted
+loads + suffix sums, maintained by sorted insertion on accept and
+split-copy on refinement) instead of columns of a dense ``(n, N)``
+matrix rebuilt per arrival; the dense matrices are materialized once,
+in :meth:`PDScheduler.finish`. The outputs are bit-identical to the
+historical implementation (kept as
+:class:`repro.perf.reference.PDSchedulerReference` and differentially
+tested), while the per-arrival cost drops from O(n·N) to
+O(window + split intervals).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
-from ..chen.interval_power import SortedLoads
 from ..errors import InvalidParameterError
 from ..model.intervals import Grid
 from ..model.job import Instance, Job
 from ..model.schedule import Schedule
+from ..perf.kernels import IntervalLoads, WindowKernel
 from ..types import FloatArray
-from .waterfill import WaterfillOutcome, waterfill_job
+from .waterfill import waterfill_job
 
 __all__ = ["PDResult", "JobDecision", "PDScheduler", "run_pd"]
 
@@ -159,8 +170,11 @@ class PDScheduler:
 
         self._jobs: list[Job] = []
         self._grid: Grid | None = None
-        self._loads: FloatArray = np.zeros((0, 0))
-        self._planned: FloatArray = np.zeros((0, 0))
+        #: One live sorted-load store per atomic interval (accepted work).
+        self._states: list[IntervalLoads] = []
+        #: Per interval, the planned ``(job_id, load)`` entries — final
+        #: loads for accepted jobs, the pre-rejection ``x̌`` otherwise.
+        self._planned: list[list[tuple[int, float]]] = []
         self._decisions: list[JobDecision] = []
         self._last_release = -np.inf
 
@@ -180,35 +194,33 @@ class PDScheduler:
 
         self._refine_grid(job)
         assert self._grid is not None
-        ks = list(self._grid.covering(job.release, job.deadline))
+        ks = self._grid.covering(job.release, job.deadline)
         lengths = self._grid.lengths
 
-        caches = [
-            SortedLoads(self._loads[:, k], self.m, float(lengths[k])) for k in ks
-        ]
+        kernel = WindowKernel(
+            [self._states[k] for k in ks],
+            [float(lengths[k]) for k in ks],
+            self.m,
+        )
         outcome = waterfill_job(
-            caches,
+            kernel,
             workload=job.workload,
             value=job.value,
             delta=self.delta,
             power=self.power,
         )
 
-        # Grow the matrices by one row for the new job.
-        n_new = job_id + 1
-        grown = np.zeros((n_new, self._grid.size))
-        grown[:job_id] = self._loads
-        self._loads = grown
-        grown_p = np.zeros((n_new, self._grid.size))
-        grown_p[:job_id] = self._planned
-        self._planned = grown_p
-
-        if outcome.accepted:
-            self._loads[job_id, ks] = outcome.loads
-            self._planned[job_id, ks] = outcome.loads
-        else:
-            # Line 12 of Listing 1: reset x_{jk} := 0 but remember x̌.
-            self._planned[job_id, ks] = outcome.loads
+        # Commit: sorted insertion into each interval's live store for an
+        # accept; either way the planned loads (``x̌``) are recorded.
+        # Exact zeros carry no information (the dense materialization is
+        # zero-initialized) and are skipped.
+        for offset, k in enumerate(ks):
+            z = float(outcome.loads[offset])
+            if z == 0.0:
+                continue
+            if outcome.accepted:
+                self._states[k].insert(job_id, z)
+            self._planned[k].append((job_id, z))
 
         decision = JobDecision(
             job_id=job_id,
@@ -227,43 +239,106 @@ class PDScheduler:
         assert self._grid is not None
         instance = Instance(tuple(self._jobs), m=self.m, alpha=self._alpha)
         finished = np.array([d.accepted for d in self._decisions], dtype=bool)
+        n = len(self._jobs)
+        big_n = self._grid.size
+        loads = self.snapshot_loads()
+        planned = np.zeros((n, big_n))
+        for k, entries in enumerate(self._planned):
+            for job_id, z in entries:
+                planned[job_id, k] = z
         schedule = Schedule(
             instance=instance,
             grid=self._grid,
-            loads=self._loads.copy(),
+            loads=loads,
             finished=finished,
         )
         return PDResult(
             schedule=schedule,
             decisions=tuple(self._decisions),
             lambdas=np.array([d.lam for d in self._decisions]),
-            planned_loads=self._planned.copy(),
+            planned_loads=planned,
             delta=self.delta,
         )
+
+    def snapshot_loads(self) -> FloatArray:
+        """Dense ``(jobs so far, N)`` view of the committed assignment.
+
+        A materialization of the live per-interval stores on the current
+        grid — the matrix the historical implementation carried around
+        explicitly. Diagnostics/tests only; O(n·N) per call.
+        """
+        if self._grid is None:
+            return np.zeros((0, 0))
+        loads = np.zeros((len(self._jobs), self._grid.size))
+        for k, state in enumerate(self._states):
+            if state.ids:
+                loads[state.ids, k] = state.loads
+        return loads
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _refine_grid(self, job: Job) -> None:
-        """Insert the new job's window endpoints, splitting frozen loads."""
+        """Insert the new job's window endpoints, splitting frozen loads.
+
+        A specialized two-point refinement: the generic
+        :meth:`~repro.model.intervals.Grid.refine` computes parent and
+        fraction arrays for *every* new interval, but an arrival only
+        ever splits the (at most two) intervals its endpoints land in
+        and possibly extends the span — so the surgery here touches
+        exactly those stores and leaves every other store object in
+        place. Unsplit intervals keep their exact loads: the reference
+        path multiplied them by a fraction that is exactly ``1.0``
+        (child and parent read their endpoints from the same boundary
+        floats), a bitwise no-op. Split children scale by
+        ``(child_end - child_start) / parent_length`` — the same single
+        multiply, in the same float order, as
+        :meth:`~repro.model.intervals.Refinement.split_row`.
+        """
         if self._grid is None:
             self._grid = Grid.from_points([job.release, job.deadline])
-            self._loads = np.zeros((0, self._grid.size))
-            self._planned = np.zeros((0, self._grid.size))
+            self._states = [IntervalLoads() for _ in range(self._grid.size)]
+            self._planned = [[] for _ in range(self._grid.size)]
             return
-        refinement = self._grid.refine([job.release, job.deadline])
-        if refinement.grid.same_as(self._grid):
+        b = self._grid.boundaries
+        fresh = self._grid.fresh_points([job.release, job.deadline])
+        if not fresh:
             return
-        self._loads = _remap_rows(self._loads, refinement)
-        self._planned = _remap_rows(self._planned, refinement)
-        self._grid = refinement.grid
 
+        lo = float(b[0])
+        hi = float(b[-1])
+        front = sum(1 for p in fresh if p < lo)
+        tail = sum(1 for p in fresh if p > hi)
+        # Interior points grouped by the old interval they split.
+        splits: dict[int, list[float]] = {}
+        for p in fresh:
+            if lo < p < hi:
+                k = int(np.searchsorted(b, p, side="right")) - 1
+                splits.setdefault(k, []).append(p)
 
-def _remap_rows(matrix: FloatArray, refinement) -> FloatArray:
-    """Apply a grid refinement to every row of a per-interval matrix."""
-    if matrix.shape[0] == 0:
-        return np.zeros((0, refinement.grid.size))
-    return np.stack([refinement.split_row(row) for row in matrix])
+        merged = np.sort(
+            np.concatenate((b, np.asarray(fresh, dtype=np.float64)))
+        )
+        self._grid = Grid(merged)
+
+        for k in sorted(splits, reverse=True):
+            cuts = [float(b[k]), *splits[k], float(b[k + 1])]
+            length = float(b[k + 1]) - float(b[k])
+            fractions = [
+                (cuts[i + 1] - cuts[i]) / length for i in range(len(cuts) - 1)
+            ]
+            state = self._states[k]
+            self._states[k : k + 1] = [state.split(f) for f in fractions]
+            entries = self._planned[k]
+            self._planned[k : k + 1] = [
+                [(job_id, z * f) for job_id, z in entries] for f in fractions
+            ]
+        if front:
+            self._states[0:0] = [IntervalLoads() for _ in range(front)]
+            self._planned[0:0] = [[] for _ in range(front)]
+        if tail:
+            self._states.extend(IntervalLoads() for _ in range(tail))
+            self._planned.extend([] for _ in range(tail))
 
 
 def run_pd(instance: Instance, *, delta: float | None = None) -> PDResult:

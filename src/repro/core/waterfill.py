@@ -74,7 +74,7 @@ class WaterfillOutcome:
 
 
 def waterfill_job(
-    caches: Sequence[SortedLoads],
+    caches: "Sequence[SortedLoads] | object",
     *,
     workload: float,
     value: float,
@@ -86,8 +86,14 @@ def waterfill_job(
     Parameters
     ----------
     caches:
-        One :class:`SortedLoads` per atomic interval of the job's window,
-        frozen at the pre-arrival assignment.
+        The frozen pre-arrival assignment of the job's window: either
+        one :class:`SortedLoads` per atomic interval (the historical
+        shape, still used by the offline solver), or any object
+        exposing batched ``total_at_speed(s)`` / ``loads_at_speed(s)``
+        queries — in practice a
+        :class:`~repro.perf.kernels.WindowKernel`, which evaluates the
+        whole window per bisection step instead of looping interval by
+        interval. Both shapes produce bit-identical outcomes.
     workload, value:
         The job's ``w_j`` and ``v_j``.
     delta:
@@ -100,7 +106,7 @@ def waterfill_job(
         raise InvalidParameterError(f"workload must be > 0, got {workload}")
     if delta <= 0.0:
         raise InvalidParameterError(f"delta must be > 0, got {delta}")
-    if not caches:
+    if len(caches) == 0:
         # No interval can host the job (can happen only with a stale
         # grid); the job is rejected at its value.
         return WaterfillOutcome(
@@ -111,11 +117,18 @@ def waterfill_job(
             planned_work=0.0,
         )
 
-    def total_at_speed(s: float) -> float:
-        return float(sum(c.max_load_at_speed(s) for c in caches))
+    if hasattr(caches, "total_at_speed"):
+        total_at_speed = caches.total_at_speed
+        loads_at_speed = caches.loads_at_speed
+    else:
 
-    def loads_at_speed(s: float) -> FloatArray:
-        return np.array([c.max_load_at_speed(s) for c in caches], dtype=np.float64)
+        def total_at_speed(s: float) -> float:
+            return float(sum(c.max_load_at_speed(s) for c in caches))
+
+        def loads_at_speed(s: float) -> FloatArray:
+            return np.array(
+                [c.max_load_at_speed(s) for c in caches], dtype=np.float64
+            )
 
     # Price cap: lambda <= value <=> planned speed <= s_cap. An infinite
     # value (classical must-finish jobs, the offline solver's block

@@ -322,6 +322,15 @@ class HttpClaimTable:
     Every cooperating worker reads back the same token and stamps it
     into its shard file as the assignment fingerprint, which is how
     ``--merge`` recognizes dynamically-claimed shards as one run.
+
+    ``lease_ttl`` (seconds) opts into claim leases: positions this
+    worker claims but never reports :meth:`done` within the TTL are
+    reissued by the server to other claimers, so a crashed worker's
+    cells are recomputed instead of stranded. All cooperating workers
+    must pass the same ``lease_ttl`` (the server 409s a mismatch, like
+    a total mismatch). Pick a TTL comfortably above the most expensive
+    cell — a too-short lease makes healthy-but-slow workers race their
+    own reissues.
     """
 
     def __init__(
@@ -330,8 +339,11 @@ class HttpClaimTable:
         claim_id: str,
         total: int,
         *,
+        lease_ttl: float | None = None,
         timeout: float = 10.0,
     ) -> None:
+        from .runner import _check_lease_ttl  # shared claim validation
+
         if not isinstance(total, int) or total < 0:
             raise InvalidParameterError(
                 f"claim-table total must be an int >= 0, got {total!r}"
@@ -339,12 +351,17 @@ class HttpClaimTable:
         self.url = _check_url(url)
         self.claim_id = str(claim_id)
         self.total = total
+        self.lease_ttl = _check_lease_ttl(lease_ttl)
         self.timeout = float(timeout)
+        self._last_outstanding = 0
+        body: dict = {"total": total}
+        if self.lease_ttl is not None:
+            body["lease"] = self.lease_ttl
         status, reply = _http_json(
             self.url,
             "POST",
             self._path(""),
-            {"total": total},
+            body,
             timeout=self.timeout,
         )
         if status == 409:
@@ -401,4 +418,42 @@ class HttpClaimTable:
                 f"claim table {self.claim_id} on {self.url} failed to hand "
                 f"out positions (status {status}): {reply!r}"
             )
+        outstanding = reply.get("outstanding")
+        self._last_outstanding = (
+            outstanding
+            if isinstance(outstanding, int) and not isinstance(outstanding, bool)
+            else 0
+        )
         return list(positions)
+
+    def pending(self) -> int:
+        """Live leases table-wide, as of the most recent :meth:`claim`.
+
+        Consulted by lease-aware workers right after an empty claim —
+        the reply that returned no positions carries the current
+        outstanding count, so no extra round trip is needed.
+        """
+        return self._last_outstanding
+
+    def done(self, positions: Sequence[int]) -> None:
+        """Report computed positions so their leases are never reissued.
+
+        Strict like all claim traffic: a worker that cannot reach the
+        table must stop rather than let its leases silently expire into
+        recomputation while it keeps going.
+        """
+        from .runner import _check_done_positions  # shared claim validation
+
+        checked = _check_done_positions(positions, self.total)
+        status, reply = _http_json(
+            self.url,
+            "POST",
+            self._path("/done"),
+            {"positions": checked},
+            timeout=self.timeout,
+        )
+        if status != 200:
+            raise CacheError(
+                f"claim table {self.claim_id} on {self.url} rejected a done "
+                f"report (status {status}): {reply!r}"
+            )

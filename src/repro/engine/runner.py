@@ -94,14 +94,62 @@ class ClaimTable(Protocol):
 
     One claim table fronts one compiled request list; ``claim(count)``
     atomically hands out up to ``count`` not-yet-claimed request
-    positions (each position exactly once, across every cooperating
-    worker), and an empty list means the table is drained. Two
-    implementations ship: :class:`InProcessClaimTable` (threads of one
-    process) and :class:`repro.engine.remote.HttpClaimTable` (workers on
-    separate machines, served by ``repro cache-serve``).
+    positions (each position at most once *at a time*, across every
+    cooperating worker), and an empty list means the table is drained.
+    Two implementations ship: :class:`InProcessClaimTable` (threads of
+    one process) and :class:`repro.engine.remote.HttpClaimTable`
+    (workers on separate machines, served by ``repro cache-serve``).
+
+    Tables may optionally implement **claim leases**: a handed-out
+    position not reported via ``done(positions)`` within the table's
+    lease TTL is *reissued* to a later claimer, so one crashed worker
+    cannot strand tail cells. Leases trade exactly-once claiming for
+    at-least-once: a position can be recomputed (the result cache makes
+    the recompute cheap, and the merge step still detects genuine
+    duplicates loudly). Tables without leases keep the historical
+    exactly-once behavior and need no ``done``.
     """
 
     def claim(self, count: int = 1) -> list[int]: ...
+
+
+def _check_claim_count(count: int) -> None:
+    if not isinstance(count, int) or count < 1:
+        raise InvalidParameterError(
+            f"claim count must be an int >= 1, got {count!r}"
+        )
+
+
+def _check_lease_ttl(lease_ttl) -> float | None:
+    if lease_ttl is None:
+        return None
+    if (
+        not isinstance(lease_ttl, (int, float))
+        or isinstance(lease_ttl, bool)
+        or not math.isfinite(float(lease_ttl))
+        or float(lease_ttl) <= 0.0
+    ):
+        raise InvalidParameterError(
+            f"lease_ttl must be a positive number of seconds or None, "
+            f"got {lease_ttl!r}"
+        )
+    return float(lease_ttl)
+
+
+def _check_done_positions(positions, total: int) -> list[int]:
+    out = []
+    for position in positions:
+        if (
+            not isinstance(position, int)
+            or isinstance(position, bool)
+            or not 0 <= position < total
+        ):
+            raise InvalidParameterError(
+                f"done positions must be ints in 0..{total - 1}, "
+                f"got {position!r}"
+            )
+        out.append(position)
+    return out
 
 
 class InProcessClaimTable:
@@ -111,27 +159,86 @@ class InProcessClaimTable:
     instance partition ``0..total-1`` between them dynamically — each
     claims the next position the moment it finishes the last one, so a
     runner stuck on an expensive cell simply claims fewer.
+
+    With ``lease_ttl`` set, every handed-out position carries a lease:
+    if :meth:`done` is not called for it within ``lease_ttl`` seconds
+    (by the table's ``clock``), the position is reissued to the next
+    claimer — the crash-recovery semantics of the claim-lease protocol.
+    ``clock`` is injectable for deterministic tests.
     """
 
-    def __init__(self, total: int) -> None:
+    def __init__(
+        self,
+        total: int,
+        *,
+        lease_ttl: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         if not isinstance(total, int) or total < 0:
             raise InvalidParameterError(
                 f"claim-table total must be an int >= 0, got {total!r}"
             )
         self.total = total
+        self.lease_ttl = _check_lease_ttl(lease_ttl)
+        self._clock = clock
         self._cursor = 0
+        #: position -> lease deadline (leased, not yet reported done)
+        self._outstanding: dict[int, float] = {}
+        self._done: set[int] = set()
         self._lock = threading.Lock()
 
     def claim(self, count: int = 1) -> list[int]:
-        if not isinstance(count, int) or count < 1:
-            raise InvalidParameterError(
-                f"claim count must be an int >= 1, got {count!r}"
-            )
+        _check_claim_count(count)
         with self._lock:
-            take = min(count, self.total - self._cursor)
-            positions = list(range(self._cursor, self._cursor + take))
-            self._cursor += take
+            positions: list[int] = []
+            if self.lease_ttl is not None:
+                now = self._clock()
+                expired = sorted(
+                    position
+                    for position, deadline in self._outstanding.items()
+                    if deadline <= now
+                )
+                for position in expired:
+                    if len(positions) == count:
+                        break
+                    self._outstanding[position] = now + self.lease_ttl
+                    positions.append(position)
+            take = min(count - len(positions), self.total - self._cursor)
+            if take > 0:
+                fresh = list(range(self._cursor, self._cursor + take))
+                self._cursor += take
+                if self.lease_ttl is not None:
+                    deadline = self._clock() + self.lease_ttl
+                    for position in fresh:
+                        self._outstanding[position] = deadline
+                positions.extend(fresh)
             return positions
+
+    def done(self, positions: Sequence[int]) -> None:
+        """Report computed positions; their leases stop being reissuable."""
+        checked = _check_done_positions(positions, self.total)
+        with self._lock:
+            for position in checked:
+                self._outstanding.pop(position, None)
+                self._done.add(position)
+
+    def pending(self) -> int:
+        """Leased positions not yet reported done.
+
+        Nonzero after an empty :meth:`claim` means the table is not
+        drained — those cells will either be reported done by their
+        holders or expire back into the queue, so a lease-aware worker
+        waits instead of exiting (the crash-recovery guarantee needs a
+        survivor still claiming when the leases expire).
+        """
+        with self._lock:
+            return len(self._outstanding)
+
+    @property
+    def done_count(self) -> int:
+        """Positions reported done so far."""
+        with self._lock:
+            return len(self._done)
 
     @property
     def remaining(self) -> int:
@@ -775,10 +882,65 @@ class BatchRunner:
 
         The union of every worker's pairs is exactly the full request
         list, each position once; sorting by position reproduces the
-        unsharded :meth:`run` measurements bit for bit.
+        unsharded :meth:`run` measurements bit for bit. (With a leased
+        claim table, "each position once" holds per worker — a lease
+        the *same* worker re-receives after expiry is skipped here, and
+        completed cells are reported back via the table's ``done`` so
+        healthy workers' leases are never reissued.)
         """
         requests = list(requests)
         total = len(requests)
+        # Leases are a table property: done-reporting (and the
+        # wait-on-pending drain rule) apply only when the table was
+        # created with a TTL — a lease-less steal sweep keeps the
+        # historical exactly-once protocol and zero extra traffic.
+        leased = getattr(claims, "lease_ttl", None) is not None
+        report = getattr(claims, "done", None) if leased else None
+        pending = getattr(claims, "pending", None) if leased else None
+        poll = (
+            min(max(claims.lease_ttl / 20.0, 0.005), 0.5) if leased else 0.0
+        )
+        seen: set[int] = set()
+        completed: set[int] = set()
+
+        def claim_new(count: int) -> tuple[list[int], str]:
+            """Claim; classify the outcome and filter re-leases.
+
+            A slow worker can outlive its own lease; the table may then
+            hand a position straight back to it. Re-receipts of cells
+            this worker *finished* are re-reported done (the original
+            report raced the expiry); re-receipts of cells still in
+            flight here are simply dropped — their lease stays live and
+            the eventual completion reports it. Returns the genuinely
+            new positions plus a status: ``"ok"``, ``"drained"`` (empty
+            claim with no unexpired leases outstanding anywhere), or
+            ``"waiting"`` (empty claim but other workers still hold
+            leases — cells may yet flow back, so do not exit).
+            """
+            claimed = claims.claim(count)
+            if not claimed:
+                if pending is not None and pending():
+                    return [], "waiting"
+                return [], "drained"
+            stale = [p for p in claimed if p in seen]
+            if stale:
+                if not leased:
+                    # Without leases a repeat handout is a table bug,
+                    # not a reissue — keep the historical loud failure.
+                    raise CacheError(
+                        f"claim table handed out position {stale[0]} twice — "
+                        "it does not implement exactly-once claiming"
+                    )
+                finished = [p for p in stale if p in completed]
+                if finished:
+                    report(finished)
+            fresh_positions = [p for p in claimed if p not in seen]
+            if not fresh_positions:
+                # Everything handed out was a re-lease of our own work
+                # (reported or still in flight): no new cells right now,
+                # but not drained either — harvest/poll, don't spin.
+                return [], "waiting"
+            return fresh_positions, "ok"
 
         def resolve(position: int) -> tuple[RunRequest, str]:
             if not isinstance(position, int) or not 0 <= position < total:
@@ -809,19 +971,29 @@ class BatchRunner:
 
         if self.workers == 1:
             while True:
-                claimed = claims.claim()
-                if not claimed:
+                claimed, status = claim_new(1)
+                if status == "drained":
                     return
+                if status == "waiting":
+                    time.sleep(poll)
+                    continue
                 for position in claimed:
                     request, key = resolve(position)
+                    seen.add(position)
                     payload = hit(key)
                     if payload is not None:
                         self.stats.cache_hits += 1
-                        yield position, _record_from_payload(
+                        record = _record_from_payload(
                             payload, key=key, cached=True, tag=request.tag
                         )
-                        continue
-                    yield fresh(position, key, evaluate_request(request))
+                    else:
+                        _, record = fresh(
+                            position, key, evaluate_request(request)
+                        )
+                    completed.add(position)
+                    if report is not None:
+                        report([position])
+                    yield position, record
 
         pool = ProcessPoolExecutor(max_workers=self.workers)
         in_flight: dict[Any, tuple[int, str]] = {}
@@ -835,12 +1007,23 @@ class BatchRunner:
                 # round trip per block against a remote backend — while
                 # still never hoarding more cells than this worker can
                 # process right now.
+                waiting = False
                 while not drained and len(in_flight) < self.workers:
-                    claimed = claims.claim(self.workers - len(in_flight))
-                    if not claimed:
+                    claimed, status = claim_new(
+                        self.workers - len(in_flight)
+                    )
+                    if status == "drained":
                         drained = True
                         break
+                    if status == "waiting":
+                        # Other workers hold live leases; cells may yet
+                        # flow back. Keep harvesting (or idle-poll below)
+                        # instead of exiting — the crash-recovery
+                        # guarantee needs a claimer alive at expiry.
+                        waiting = True
+                        break
                     resolved = [resolve(position) for position in claimed]
+                    seen.update(claimed)
                     hits = (
                         dict(
                             self._probe_cache([key for _, key in resolved])
@@ -848,6 +1031,17 @@ class BatchRunner:
                         if self.cache is not None
                         else {}
                     )
+                    hit_positions = [
+                        position
+                        for position, (_, key) in zip(claimed, resolved)
+                        if key in hits
+                    ]
+                    if hit_positions:
+                        # One done round trip per claim block, mirroring
+                        # the batched claim/probe design.
+                        completed.update(hit_positions)
+                        if report is not None:
+                            report(hit_positions)
                     for position, (request, key) in zip(claimed, resolved):
                         payload = hits.get(key)
                         if payload is not None:
@@ -859,11 +1053,23 @@ class BatchRunner:
                             future = pool.submit(evaluate_request, request)
                             in_flight[future] = (position, key)
                 if not in_flight:
+                    if drained:
+                        return
+                    if waiting:
+                        time.sleep(poll)
+                        continue
                     return
                 done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+                pairs = []
                 for future in done:
                     position, key = in_flight.pop(future)
-                    yield fresh(position, key, future.result())
+                    pairs.append(fresh(position, key, future.result()))
+                    completed.add(position)
+                if report is not None:
+                    # One done round trip per harvest, not per cell.
+                    report([position for position, _ in pairs])
+                for pair in pairs:
+                    yield pair
         finally:
             # Reached on exhaustion, on a worker exception, and on
             # GeneratorExit: cancel queued cells instead of silently

@@ -45,6 +45,12 @@ Subcommands
     Cache maintenance: ``stats`` (backend, entries, bytes, timing
     coverage — any backend, including a remote server) and ``gc
     --older-than`` (prune old entries and stale temp files).
+``bench``
+    Run named perf scenarios (``pd-scaling``, ``oa-scaling``,
+    ``yds-scaling``, ``grid-refine``, ``cache-micro``) and write
+    machine-readable ``BENCH_<scenario>.json`` series; ``--baseline
+    DIR`` gates on >``--factor``× per-point regressions against the
+    committed baselines (machine-calibrated).
 
 The CLI is a thin shell over the library: every subcommand body is a few
 calls into the public API, which keeps it honest as documentation.
@@ -277,6 +283,21 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     swp.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "claim-lease TTL for --shard-strategy steal: a claimed cell "
+            "whose completion is not reported within this many seconds "
+            "is reissued to another worker (crash recovery; all "
+            "cooperating workers must pass the same value). Pick a TTL "
+            "comfortably above the most expensive cell. Default: no "
+            "leases (exactly-once claiming, crashed workers strand "
+            "their claimed cells until --merge flags the hole)"
+        ),
+    )
+    swp.add_argument(
         "--claim-session",
         default="",
         metavar="LABEL",
@@ -322,6 +343,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     srv.add_argument(
         "--verbose", action="store_true", help="log every request to stderr"
+    )
+
+    bch = sub.add_parser(
+        "bench",
+        help="run named perf scenarios and write BENCH_<scenario>.json",
+    )
+    bch.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help=(
+            "scenario to run (repeatable; default: all). Known names "
+            "come from repro.perf.bench.SCENARIOS, e.g. pd-scaling, "
+            "oa-scaling, yds-scaling, grid-refine, cache-micro"
+        ),
+    )
+    bch.add_argument(
+        "--grid",
+        choices=["full", "smoke"],
+        default="full",
+        help="point grid: full (tracked) or smoke (reduced, for CI)",
+    )
+    bch.add_argument(
+        "--out",
+        default=os.path.join("benchmarks", "results"),
+        help="directory for BENCH_<scenario>.json (default: benchmarks/results)",
+    )
+    bch.add_argument(
+        "--baseline",
+        default=None,
+        metavar="DIR",
+        help=(
+            "baseline directory to compare against (exit 1 on any point "
+            "slower than --factor x its baseline, machine-calibrated)"
+        ),
+    )
+    bch.add_argument(
+        "--factor",
+        type=float,
+        default=2.0,
+        help="regression gate multiplier (default: 2.0)",
+    )
+    bch.add_argument(
+        "--update-baseline",
+        default=None,
+        metavar="DIR",
+        help="also write the fresh results into this baseline directory",
     )
 
     cch = sub.add_parser("cache", help="inspect and maintain result caches")
@@ -656,6 +725,75 @@ def _cmd_cache_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from ..perf.bench import (
+        SCENARIOS,
+        compare_to_baseline,
+        load_result,
+        run_scenario,
+        write_result,
+    )
+
+    names = args.scenario or sorted(SCENARIOS)
+    unknown = [name for name in names if name not in SCENARIOS]
+    if unknown:
+        raise InvalidParameterError(
+            f"unknown scenario(s) {unknown}; "
+            f"available: {', '.join(sorted(SCENARIOS))}"
+        )
+    if args.update_baseline and args.grid != "full":
+        # A smoke series replacing a committed full-grid baseline would
+        # silently shrink the set of gated points — the tripwire would
+        # still "pass" while watching a fraction of the grid.
+        raise InvalidParameterError(
+            "--update-baseline requires --grid full: baselines must "
+            "cover every tracked point, not the reduced smoke grid"
+        )
+    regressions: list[str] = []
+    payloads: list[dict] = []
+    for name in names:
+        payload = run_scenario(
+            name,
+            grid=args.grid,
+            progress=lambda line: print(line, file=sys.stderr),
+        )
+        payloads.append(payload)
+        path = write_result(payload, args.out)
+        print(f"{name}: {len(payload['series'])} points -> {path}")
+        if args.baseline:
+            base_path = os.path.join(args.baseline, f"BENCH_{name}.json")
+            if os.path.exists(base_path):
+                regressions.extend(
+                    compare_to_baseline(
+                        payload, load_result(base_path), factor=args.factor
+                    )
+                )
+            else:
+                print(
+                    f"(no baseline for {name} at {base_path}; skipping gate)",
+                    file=sys.stderr,
+                )
+    if regressions:
+        print("PERF REGRESSIONS:", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        if args.update_baseline:
+            print(
+                "(baselines NOT updated: fix or accept the regression "
+                "by re-running without --baseline)",
+                file=sys.stderr,
+            )
+        return 1
+    # Baselines are refreshed only after the gate (if any) passed, so a
+    # regressed run can never quietly become the new normal.
+    for payload in payloads:
+        if args.update_baseline:
+            write_result(payload, args.update_baseline)
+    if args.baseline:
+        print(f"baseline gate passed (factor {args.factor:g}x)")
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from ..engine.cache import backend_stats
 
@@ -757,7 +895,7 @@ def _merge_shard_files(paths: Sequence[str]):
     interleave.
     """
     from ..engine import record_from_payload
-    from ..engine.runner import merge_shards
+    from ..engine.runner import merge_shards, record_to_payload
 
     by_index: dict[int, list] = {}
     positions_by_index: dict[int, list | None] = {}
@@ -765,6 +903,7 @@ def _merge_shard_files(paths: Sequence[str]):
     counts = set()
     assignments = set()
     totals = set()
+    strategies = set()
     for path in paths:
         payload = load_json(path)
         if payload.get("kind") != "sweep-shard":
@@ -775,6 +914,7 @@ def _merge_shard_files(paths: Sequence[str]):
         index, count = payload["shard"]
         counts.add(int(count))
         experiments.add(payload.get("experiment"))
+        strategies.add(payload.get("strategy"))
         if "assignment" in payload:
             assignments.add(payload["assignment"])
         if "total" in payload:
@@ -816,31 +956,72 @@ def _merge_shard_files(paths: Sequence[str]):
     experiment = experiments.pop()
     if any(positions_by_index[i] is None for i in range(count)):
         return experiment, merge_shards(shards)
+
+    def dedup_form(record) -> str:
+        """Identity of a record minus per-worker bookkeeping.
+
+        ``cached`` reflects each worker's own cache state and
+        ``wall_time`` is a machine measurement; two workers that both
+        computed one cell (a lease reissued mid-compute) must compare
+        equal on everything else.
+        """
+        payload = record_to_payload(record)
+        payload.pop("cached")
+        payload.pop("wall_time")
+        return stable_hash(payload)
+
+    # Lease reissue makes steal claiming at-least-once: a
+    # slower-than-its-lease worker and the reissue's recipient can both
+    # legitimately record one cell. Keep the lowest shard's copy after
+    # checking the duplicates agree; for static strategies a duplicate
+    # still means broken shard files and fails loudly.
+    allow_duplicates = strategies == {"steal"}
     # The declared grid size beats the record-count sum: with dynamic
     # (steal) shards, a worker that claimed cells and died leaves a hole
     # that only the declared total can expose — if the lost cells are
     # the last positions of the grid, the surviving records still form
     # a dense prefix a sum-based total would happily accept.
     total = totals.pop() if totals else sum(len(s) for s in shards)
-    assignment: list = [None] * total
-    for shard, positions in positions_by_index.items():
-        if len(positions) != len(by_index[shard]):
+    chosen: dict[int, object] = {}
+    duplicates = 0
+    for shard in sorted(positions_by_index):
+        positions = positions_by_index[shard]
+        records = by_index[shard]
+        if len(positions) != len(records):
             raise InvalidParameterError(
                 f"shard {shard} lists {len(positions)} positions for "
-                f"{len(by_index[shard])} records"
+                f"{len(records)} records"
             )
-        for position in positions:
-            if (
-                not isinstance(position, int)
-                or not 0 <= position < total
-                or assignment[position] is not None
-            ):
+        for position, record in zip(positions, records):
+            if not isinstance(position, int) or not 0 <= position < total:
                 raise InvalidParameterError(
                     f"shard position lists do not partition the request "
-                    f"list (bad or duplicate position {position!r})"
+                    f"list (bad position {position!r})"
                 )
-            assignment[position] = shard
-    missing = sum(1 for owner in assignment if owner is None)
+            kept = chosen.get(position)
+            if kept is None:
+                chosen[position] = record
+                continue
+            if not allow_duplicates:
+                raise InvalidParameterError(
+                    f"shard position lists do not partition the request "
+                    f"list (duplicate position {position})"
+                )
+            if dedup_form(kept) != dedup_form(record):
+                raise InvalidParameterError(
+                    f"two workers recorded different results for grid "
+                    f"position {position} — the claim session is "
+                    "corrupt (mixed request lists?); re-run against a "
+                    "fresh claim session"
+                )
+            duplicates += 1
+    if duplicates:
+        print(
+            f"(dropped {duplicates} duplicate record(s) from reissued "
+            "claim leases; kept the lowest shard's copy)",
+            file=sys.stderr,
+        )
+    missing = total - len(chosen)
     if missing:
         raise InvalidParameterError(
             f"shard files cover {total - missing} of {total} grid "
@@ -849,7 +1030,7 @@ def _merge_shard_files(paths: Sequence[str]):
             "worker(s) against a fresh claim session (cached cells "
             "stream back instantly)"
         )
-    return experiment, merge_shards(shards, assignment=assignment)
+    return experiment, [chosen[position] for position in range(total)]
 
 
 def _progress_printer(args: argparse.Namespace):
@@ -945,6 +1126,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         spec = ExperimentSpec(
             name=f"sweep:{args.family}", family=args.family, **common
         )
+    if args.lease_ttl is not None and args.shard_strategy != "steal":
+        raise InvalidParameterError(
+            "--lease-ttl only applies to --shard-strategy steal (claim "
+            "leases live on the server's claim table)"
+        )
     if args.shard_strategy == "steal":
         if args.cache_url is None:
             raise InvalidParameterError(
@@ -994,7 +1180,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 if args.claim_session:
                     claim_id = f"{claim_id}-{args.claim_session}"
                 claims = HttpClaimTable(
-                    args.cache_url, claim_id, len(requests)
+                    args.cache_url,
+                    claim_id,
+                    len(requests),
+                    lease_ttl=args.lease_ttl,
                 )
                 pairs = runner.run_stolen(
                     requests, claims, on_record=progress
@@ -1093,6 +1282,7 @@ _DISPATCH = {
     "sweep": _cmd_sweep,
     "cache-serve": _cmd_cache_serve,
     "cache": _cmd_cache,
+    "bench": _cmd_bench,
 }
 
 

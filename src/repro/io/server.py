@@ -19,15 +19,20 @@ Wire protocol (Python-dialect JSON — ``NaN`` literals allowed):
 | ``GET /keys``            | —                               | 200 ``{"keys": [...]}`` |
 | ``GET /stats``           | —                               | 200 backend stats + ``claim_tables`` |
 | ``POST /gc``             | ``{"older_than": seconds}``     | 200 ``{"removed": n}``, or 501 |
-| ``POST /claims/<id>``    | ``{"total": n}``                | 200 ``{"token", "total", "claimed"}``, 409 on total mismatch |
+| ``POST /claims/<id>``    | ``{"total": n, "lease": ttl?}`` | 200 ``{"token", "total", "claimed", "lease_ttl"}``, 409 on total/lease mismatch |
 | ``POST /claims/<id>/next`` | ``{"count": c}``              | 200 ``{"positions": [...], "token", "remaining"}`` |
+| ``POST /claims/<id>/done`` | ``{"positions": [...]}``      | 200 ``{"token", "done"}`` |
 
 Claim tables implement work stealing: a table is created idempotently
 under a content-derived id (the experiment fingerprint), hands out
 positions ``0..total-1`` in order, at most once each, and remembers a
 server-minted session ``token`` that every cooperating worker stamps
 into its shard file — the merge step's proof that the shards partition
-one claim session.
+one claim session. With a ``lease`` TTL (seconds) the table reissues a
+claimed position whose ``done`` report never arrives within the TTL,
+so one crashed worker cannot strand tail cells; workers of one session
+must agree on the lease policy (mismatch is a 409, like a total
+mismatch).
 
 Every backend call is serialized behind one lock: handler threads never
 touch the backend concurrently, which is what lets a single sqlite
@@ -49,19 +54,29 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Sequence
 
 from ..engine.cache import CacheBackend, backend_stats
-from ..errors import ReproError
+from ..engine.runner import InProcessClaimTable
+from ..errors import InvalidParameterError, ReproError
 
 __all__ = ["CacheServer"]
 
 
 @dataclass
 class _ClaimState:
-    """One claim table: a cursor over ``0..total-1`` plus its session
-    token. Guarded by the server's claims lock."""
+    """One claim table: the shared lease state machine plus its session
+    token. Guarded by the server's claims lock.
 
-    total: int
+    The cursor/lease/done bookkeeping is
+    :class:`~repro.engine.runner.InProcessClaimTable` — the *same*
+    class in-process work stealing uses — so the HTTP and in-process
+    claim protocols cannot drift. With a lease TTL, handed-out
+    positions not reported done are reissued by a later claim — the
+    crash-recovery half of the work-stealing protocol (a worker that
+    claimed cells and died never reports, so its cells flow back into
+    the queue after one TTL).
+    """
+
+    table: InProcessClaimTable
     token: str
-    cursor: int = 0
 
 
 class _HttpStatus(Exception):
@@ -193,39 +208,75 @@ class CacheServer:
             return int(collect(older_than))
 
     # -- claim tables ---------------------------------------------------
-    def claim_create(self, claim_id: str, total: int) -> dict[str, Any]:
+    def _claim_state(self, claim_id: str) -> _ClaimState:
+        state = self._claims.get(claim_id)
+        if state is None:
+            raise _HttpStatus(
+                404, f"no claim table {claim_id}; create it first"
+            )
+        return state
+
+    def claim_create(
+        self, claim_id: str, total: int, lease_ttl: float | None = None
+    ) -> dict[str, Any]:
         with self._claims_lock:
             state = self._claims.get(claim_id)
             if state is None:
-                state = _ClaimState(total=total, token=uuid.uuid4().hex)
+                state = _ClaimState(
+                    table=InProcessClaimTable(total, lease_ttl=lease_ttl),
+                    token=uuid.uuid4().hex,
+                )
                 self._claims[claim_id] = state
-            elif state.total != total:
+            elif state.table.total != total:
                 raise _HttpStatus(
                     409,
-                    f"claim table {claim_id} holds {state.total} positions, "
-                    f"this worker expects {total}",
+                    f"claim table {claim_id} holds {state.table.total} "
+                    f"positions, this worker expects {total}",
+                )
+            elif state.table.lease_ttl != lease_ttl:
+                raise _HttpStatus(
+                    409,
+                    f"claim table {claim_id} was created with lease_ttl="
+                    f"{state.table.lease_ttl}, this worker asks for "
+                    f"{lease_ttl} — cooperating workers must agree on the "
+                    "lease policy",
                 )
             return {
                 "claim": claim_id,
-                "total": state.total,
+                "total": state.table.total,
                 "token": state.token,
-                "claimed": state.cursor,
+                "claimed": state.table.total - state.table.remaining,
+                "lease_ttl": state.table.lease_ttl,
             }
 
     def claim_next(self, claim_id: str, count: int) -> dict[str, Any]:
         with self._claims_lock:
-            state = self._claims.get(claim_id)
-            if state is None:
-                raise _HttpStatus(
-                    404, f"no claim table {claim_id}; create it first"
-                )
-            take = max(0, min(count, state.total - state.cursor))
-            positions = list(range(state.cursor, state.cursor + take))
-            state.cursor += take
+            state = self._claim_state(claim_id)
+            positions = state.table.claim(count)
             return {
                 "positions": positions,
                 "token": state.token,
-                "remaining": state.total - state.cursor,
+                "remaining": state.table.remaining,
+                # Live leases (claimed, not yet done): an empty handout
+                # with outstanding > 0 means "wait, cells may flow
+                # back", not "drained" — workers poll instead of
+                # exiting, so someone is still claiming when a crashed
+                # worker's leases expire.
+                "outstanding": state.table.pending(),
+            }
+
+    def claim_done(
+        self, claim_id: str, positions: Sequence[int]
+    ) -> dict[str, Any]:
+        with self._claims_lock:
+            state = self._claim_state(claim_id)
+            try:
+                state.table.done(positions)
+            except InvalidParameterError as exc:
+                raise _HttpStatus(400, str(exc)) from None
+            return {
+                "token": state.token,
+                "done": state.table.done_count,
             }
 
 
@@ -399,10 +450,21 @@ class _Handler(BaseHTTPRequestHandler):
             total = (body or {}).get("total")
             if not isinstance(total, int) or total < 0:
                 raise _HttpStatus(400, "claim body wants {'total': n >= 0}")
+            lease = (body or {}).get("lease")
+            if lease is not None and (
+                not isinstance(lease, (int, float))
+                or isinstance(lease, bool)
+                or not 0.0 < lease < float("inf")
+            ):
+                raise _HttpStatus(
+                    400, "claim lease must be a positive number of seconds"
+                )
             self._reply(
                 200,
                 self.fabric.claim_create(
-                    self._safe_name(parts[1], "claim id"), total
+                    self._safe_name(parts[1], "claim id"),
+                    total,
+                    None if lease is None else float(lease),
                 ),
             )
         elif len(parts) == 3 and parts[0] == "claims" and parts[2] == "next":
@@ -414,6 +476,19 @@ class _Handler(BaseHTTPRequestHandler):
                 200,
                 self.fabric.claim_next(
                     self._safe_name(parts[1], "claim id"), count
+                ),
+            )
+        elif len(parts) == 3 and parts[0] == "claims" and parts[2] == "done":
+            body = self._body()
+            positions = (body or {}).get("positions")
+            if not isinstance(positions, list):
+                raise _HttpStatus(
+                    400, "claim body wants {'positions': [ints]}"
+                )
+            self._reply(
+                200,
+                self.fabric.claim_done(
+                    self._safe_name(parts[1], "claim id"), positions
                 ),
             )
         else:

@@ -1,0 +1,24 @@
+"""Incremental algorithm kernels and the performance harness.
+
+``repro.perf`` holds the engineering layer that makes the hot
+simulation paths scale without changing a single bit of their output:
+
+* :mod:`repro.perf.kernels` — incremental per-interval load stores
+  (:class:`~repro.perf.kernels.IntervalLoads`) and the batched window
+  evaluator (:class:`~repro.perf.kernels.WindowKernel`) the primal-dual
+  water-filling prices jobs against;
+* :mod:`repro.perf.reference` — the historical straight-line
+  implementations (dense-matrix PD), kept verbatim for differential
+  ("bit parity") testing against the kernels;
+* :mod:`repro.perf.bench` — named perf scenarios, the machine-readable
+  ``BENCH_<scenario>.json`` emitter, and the baseline-comparison gate
+  behind ``python -m repro bench``.
+
+Every kernel is bit-parity-tested against the reference path: same
+schedules, same costs, same certificates, same cache keys. Speed is an
+execution strategy here, never a result change.
+"""
+
+from .kernels import IntervalLoads, WindowKernel
+
+__all__ = ["IntervalLoads", "WindowKernel"]

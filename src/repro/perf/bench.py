@@ -1,0 +1,410 @@
+"""Named perf scenarios, the BENCH json emitter, and the baseline gate.
+
+The CLI front end is ``python -m repro bench``. Each *scenario* runs a
+fixed, seeded series of measurement points (``{n, m, wall_time, ...}``)
+and emits a machine-readable ``BENCH_<scenario>.json`` payload:
+
+.. code-block:: json
+
+    {"schema": 1, "kind": "bench-series", "scenario": "pd-scaling",
+     "environment": {"python": "...", "numpy": "...",
+                     "calibration_seconds": 0.041, ...},
+     "series": [{"n": 25, "m": 1, "wall_time": 0.0021, ...}, ...]}
+
+Two grids per scenario: the ``full`` grid tracked in
+``benchmarks/results/`` (and frozen as the committed baseline under
+``benchmarks/baselines/``), and a reduced ``smoke`` grid cheap enough
+for CI. The baseline gate matches points by their identity keys
+(everything except the measured fields) and fails on any point slower
+than ``factor`` × baseline — after rescaling by the two environments'
+``calibration_seconds`` (a fixed numpy+Python workload timed at emit
+time), so a faster or slower CI machine does not masquerade as a code
+change.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+
+__all__ = [
+    "SCENARIOS",
+    "run_scenario",
+    "write_result",
+    "load_result",
+    "compare_to_baseline",
+    "environment_stamp",
+]
+
+#: Fields that are measurements, not point identity.
+_MEASURE_KEYS = frozenset({"wall_time", "run_time", "certify_time", "cost"})
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """One named perf scenario: a point grid and a point runner."""
+
+    name: str
+    summary: str
+    full: tuple[Mapping[str, Any], ...]
+    smoke: tuple[Mapping[str, Any], ...]
+    run_point: Callable[[Mapping[str, Any]], dict]
+
+    def points(self, grid: str) -> tuple[Mapping[str, Any], ...]:
+        if grid == "full":
+            return self.full
+        if grid == "smoke":
+            return self.smoke
+        raise InvalidParameterError(
+            f"grid must be 'full' or 'smoke', got {grid!r}"
+        )
+
+
+def _timed(fn: Callable[[], Any]) -> tuple[float, Any]:
+    start = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - start, out
+
+
+# ----------------------------------------------------------------------
+# Scenario runners
+# ----------------------------------------------------------------------
+def _pd_point(point: Mapping[str, Any]) -> dict:
+    from ..analysis.certificates import dual_certificate
+    from ..core.pd import run_pd
+    from ..workloads import poisson_instance
+
+    n, m = int(point["n"]), int(point["m"])
+    instance = poisson_instance(n, m=m, alpha=3.0, seed=0)
+    t_run, result = _timed(lambda: run_pd(instance))
+    t_cert, cert = _timed(lambda: dual_certificate(result))
+    if not cert.holds:  # pragma: no cover - a failing bound is a bug
+        raise AssertionError(f"certificate violated at n={n}, m={m}")
+    return {
+        "n": n,
+        "m": m,
+        "wall_time": t_run + t_cert,
+        "run_time": t_run,
+        "certify_time": t_cert,
+        "cost": result.cost,
+    }
+
+
+def _classical_instance(n: int, seed: int = 0):
+    from ..model.job import Instance
+    from ..workloads import poisson_instance
+
+    base = poisson_instance(n, m=1, alpha=3.0, seed=seed)
+    return Instance.classical(
+        [(j.release, j.deadline, j.workload) for j in base.jobs],
+        m=1,
+        alpha=3.0,
+    )
+
+
+def _oa_point(point: Mapping[str, Any]) -> dict:
+    from ..classical.oa import run_oa
+
+    n = int(point["n"])
+    instance = _classical_instance(n)
+    wall, result = _timed(lambda: run_oa(instance))
+    return {"n": n, "m": 1, "wall_time": wall, "cost": result.cost}
+
+
+def _yds_point(point: Mapping[str, Any]) -> dict:
+    from ..classical.yds import yds
+
+    n = int(point["n"])
+    instance = _classical_instance(n)
+    wall, result = _timed(lambda: yds(instance))
+    return {"n": n, "m": 1, "wall_time": wall, "cost": result.energy}
+
+
+def _grid_refine_point(point: Mapping[str, Any]) -> dict:
+    from ..model.intervals import Grid
+
+    n = int(point["n"])
+    rounds = 200
+    boundaries = np.linspace(0.0, float(n), n + 1)
+    rng = np.random.default_rng(0)
+    cuts = rng.uniform(0.05, float(n) - 0.05, size=(rounds, 2))
+    grid = Grid(boundaries)
+
+    def exercise() -> None:
+        for row in cuts:
+            grid.refine(row.tolist())
+
+    wall, _ = _timed(exercise)
+    return {"n": n, "m": 1, "wall_time": wall, "rounds": rounds}
+
+
+def _cache_point(point: Mapping[str, Any]) -> dict:
+    import tempfile
+
+    from ..engine.cache import open_cache
+
+    backend = str(point["backend"])
+    ops = int(point["n"])
+    payload = {
+        "kind": "run-record",
+        "algorithm": "bench",
+        "wall_time": 0.5,
+        "body": "x" * 512,
+    }
+    with tempfile.TemporaryDirectory() as root:
+        path = {
+            "dir": root,
+            "sqlite": os.path.join(root, "bench.db"),
+            "memory": None,
+        }[backend]
+        cache = open_cache(path, backend)
+        try:
+
+            def exercise() -> None:
+                for i in range(ops):
+                    key = f"bench-{i:06d}"
+                    cache.put(key, payload)
+                    if cache.get(key) is None:  # pragma: no cover
+                        raise AssertionError("cache dropped a fresh put")
+
+            wall, _ = _timed(exercise)
+        finally:
+            cache.close()
+    return {"n": ops, "m": 1, "backend": backend, "wall_time": wall}
+
+
+def _points(**axes: Iterable) -> tuple[dict, ...]:
+    """Cartesian grid helper: ``_points(n=[1,2], m=[1])``."""
+    out: list[dict] = [{}]
+    for key, values in axes.items():
+        out = [{**point, key: value} for point in out for value in values]
+    return tuple(out)
+
+
+SCENARIOS: dict[str, BenchScenario] = {
+    scenario.name: scenario
+    for scenario in (
+        BenchScenario(
+            name="pd-scaling",
+            summary="full PD pipeline (run + Theorem 3 certificate)",
+            full=_points(n=[25, 50, 100, 200, 500, 1000, 2000], m=[1, 4]),
+            smoke=_points(n=[25, 50, 100], m=[1]),
+            run_point=_pd_point,
+        ),
+        BenchScenario(
+            name="oa-scaling",
+            summary="Optimal Available simulation (classical instances)",
+            full=_points(n=[25, 50, 100, 200, 400, 800]),
+            smoke=_points(n=[25, 50]),
+            run_point=_oa_point,
+        ),
+        BenchScenario(
+            name="yds-scaling",
+            summary="YDS offline optimum (vectorized critical scan)",
+            full=_points(n=[25, 50, 100, 200, 400]),
+            smoke=_points(n=[25, 50]),
+            run_point=_yds_point,
+        ),
+        BenchScenario(
+            name="grid-refine",
+            summary="micro: 200 two-point refinements of an N-interval grid",
+            full=_points(n=[100, 1000, 5000, 20000]),
+            smoke=_points(n=[100, 1000]),
+            run_point=_grid_refine_point,
+        ),
+        BenchScenario(
+            name="cache-micro",
+            summary="micro: put+get round trips per cache backend",
+            full=_points(n=[300], backend=["dir", "sqlite", "memory"]),
+            smoke=_points(n=[300], backend=["dir", "sqlite", "memory"]),
+            run_point=_cache_point,
+        ),
+    )
+}
+
+
+# ----------------------------------------------------------------------
+# Environment stamp & calibration
+# ----------------------------------------------------------------------
+def _calibration_seconds() -> float:
+    """Time a fixed numpy + Python workload (machine speed yardstick).
+
+    The baseline gate divides measured wall times by the ratio of the
+    two environments' calibration values, so a CI runner half as fast
+    as the baseline machine is not reported as a 2x regression.
+    """
+    rng = np.random.default_rng(12345)
+    data = rng.random(200_000)
+    start = time.perf_counter()
+    acc = 0.0
+    for _ in range(5):
+        acc += float(np.sort(data)[::-1].cumsum()[-1])
+        acc += sum(float(v) for v in data[:20_000])
+    if not math.isfinite(acc):  # pragma: no cover - keeps the loop live
+        raise AssertionError("calibration overflow")
+    return time.perf_counter() - start
+
+
+def environment_stamp() -> dict:
+    """Machine-readable provenance of a bench run."""
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "calibration_seconds": round(_calibration_seconds(), 6),
+    }
+
+
+# ----------------------------------------------------------------------
+# Running / persisting / comparing
+# ----------------------------------------------------------------------
+def run_scenario(
+    name: str,
+    *,
+    grid: str = "full",
+    progress: Callable[[str], None] | None = None,
+) -> dict:
+    """Run one scenario and return its BENCH payload."""
+    scenario = SCENARIOS.get(name)
+    if scenario is None:
+        raise InvalidParameterError(
+            f"unknown bench scenario {name!r}; "
+            f"available: {', '.join(sorted(SCENARIOS))}"
+        )
+    series = []
+    for point in scenario.points(grid):
+        row = scenario.run_point(point)
+        # Millisecond-scale points are one scheduler stall away from a
+        # spurious 2x "regression": re-measure fast points and keep the
+        # best run (the minimum is the least-noise estimator for wall
+        # time). Slow points stay single-shot — their signal dwarfs the
+        # noise and repeats would be expensive.
+        repeats = 0
+        while row["wall_time"] < 0.25 and repeats < 2:
+            candidate = scenario.run_point(point)
+            repeats += 1
+            if candidate["wall_time"] < row["wall_time"]:
+                row = candidate
+        series.append(row)
+        if progress is not None:
+            ident = " ".join(
+                f"{k}={row[k]}" for k in row if k not in _MEASURE_KEYS
+            )
+            progress(f"[{name}] {ident}: {row['wall_time']:.4f}s")
+    return {
+        "schema": 1,
+        "kind": "bench-series",
+        "scenario": name,
+        "grid": grid,
+        "environment": environment_stamp(),
+        "series": series,
+    }
+
+
+def write_result(
+    payload: dict, out_dir: str, *, name: str | None = None
+) -> str:
+    """Persist a BENCH payload as ``<out_dir>/BENCH_<name>.json``."""
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(
+        out_dir, f"BENCH_{name or payload['scenario']}.json"
+    )
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_result(path: str) -> dict:
+    with open(path) as fh:
+        payload = json.load(fh)
+    if payload.get("kind") != "bench-series":
+        raise InvalidParameterError(
+            f"{path} is not a BENCH series (kind={payload.get('kind')!r})"
+        )
+    return payload
+
+
+def _identity(row: Mapping[str, Any]) -> tuple:
+    return tuple(
+        sorted((k, v) for k, v in row.items() if k not in _MEASURE_KEYS)
+    )
+
+
+def compare_to_baseline(
+    current: dict, baseline: dict, *, factor: float = 2.0
+) -> list[str]:
+    """Regression report: current points slower than ``factor`` x baseline.
+
+    Points are matched by identity keys; points present on one side
+    only are ignored (grids may differ — CI smoke vs committed full).
+    Wall times are rescaled by the environments' calibration ratio
+    before the factor test.
+    """
+    if factor <= 1.0:
+        raise InvalidParameterError(f"factor must be > 1, got {factor}")
+    cal_current = float(
+        current.get("environment", {}).get("calibration_seconds") or 0.0
+    )
+    cal_baseline = float(
+        baseline.get("environment", {}).get("calibration_seconds") or 0.0
+    )
+    scale = (
+        cal_current / cal_baseline
+        if cal_current > 0.0 and cal_baseline > 0.0
+        else 1.0
+    )
+    by_identity = {
+        _identity(row): row for row in baseline.get("series", [])
+    }
+    regressions: list[str] = []
+    for row in current.get("series", []):
+        base = by_identity.get(_identity(row))
+        if base is None:
+            continue
+        budget = float(base["wall_time"]) * factor * scale
+        measured = float(row["wall_time"])
+        if measured > budget:
+            ident = " ".join(
+                f"{k}={row[k]}" for k in row if k not in _MEASURE_KEYS
+            )
+            regressions.append(
+                f"{current.get('scenario', '?')} {ident}: "
+                f"{measured:.4f}s > {factor:g}x baseline "
+                f"{float(base['wall_time']):.4f}s "
+                f"(machine-scaled budget {budget:.4f}s)"
+            )
+    return regressions
+
+
+def main_check(
+    results_dir: str, baseline_dir: str, *, factor: float = 2.0
+) -> list[str]:
+    """Compare every BENCH file in ``results_dir`` against its baseline."""
+    regressions: list[str] = []
+    for entry in sorted(os.listdir(results_dir)):
+        if not (entry.startswith("BENCH_") and entry.endswith(".json")):
+            continue
+        base_path = os.path.join(baseline_dir, entry)
+        if not os.path.exists(base_path):
+            continue
+        regressions.extend(
+            compare_to_baseline(
+                load_result(os.path.join(results_dir, entry)),
+                load_result(base_path),
+                factor=factor,
+            )
+        )
+    return regressions

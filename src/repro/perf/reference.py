@@ -1,0 +1,179 @@
+"""Historical straight-line implementations, kept for parity testing.
+
+The incremental kernels (:mod:`repro.perf.kernels`) promise *bit
+parity*: same schedules, same costs, same certificates, same cache
+keys as the code they replaced. That promise is only checkable if the
+replaced code still exists — so the pre-kernel implementations live
+here, verbatim (dense load matrices, per-arrival ``SortedLoads``
+rebuilds, full-matrix refinement remaps), exercised exclusively by the
+differential tests in ``tests/test_perf_kernels.py`` and available for
+ad-hoc A/B measurements via the bench harness.
+
+Deliberately slow. Never import this module from a hot path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..chen.interval_power import SortedLoads
+from ..core.pd import JobDecision, PDResult
+from ..core.waterfill import waterfill_job
+from ..errors import InvalidParameterError
+from ..model.intervals import Grid
+from ..model.job import Instance, Job
+from ..model.schedule import Schedule
+from ..types import FloatArray
+
+__all__ = ["PDSchedulerReference", "run_pd_reference"]
+
+
+class PDSchedulerReference:
+    """The pre-kernel ``PDScheduler``: dense matrices, per-arrival sorts.
+
+    A verbatim copy of the historical online scheduler. Every arrival
+    rebuilds one :class:`SortedLoads` cache per window interval from the
+    full ``(n, N)`` load matrix, grows both matrices by one row, and
+    remaps every row through each grid refinement — O(n·N) per arrival,
+    which is exactly the cost profile the incremental kernels remove.
+    """
+
+    def __init__(
+        self,
+        *,
+        m: int,
+        alpha: float,
+        delta: float | None = None,
+        power=None,
+    ) -> None:
+        if m < 1:
+            raise InvalidParameterError(f"m must be >= 1, got {m}")
+        from ..model.power import PolynomialPower
+
+        self.m = m
+        if power is None:
+            self.power = PolynomialPower(alpha)
+            self.delta = (
+                float(delta) if delta is not None else self.power.optimal_delta
+            )
+        else:
+            self.power = power
+            if delta is None:
+                raise InvalidParameterError(
+                    "delta must be given explicitly with a custom power "
+                    "function (no Theorem 3 default applies)"
+                )
+            self.delta = float(delta)
+        self._alpha = float(alpha)
+        if self.delta <= 0.0:
+            raise InvalidParameterError(f"delta must be > 0, got {self.delta}")
+
+        self._jobs: list[Job] = []
+        self._grid: Grid | None = None
+        self._loads: FloatArray = np.zeros((0, 0))
+        self._planned: FloatArray = np.zeros((0, 0))
+        self._decisions: list[JobDecision] = []
+        self._last_release = -np.inf
+
+    def arrive(self, job: Job) -> JobDecision:
+        if job.release < self._last_release - 1e-12:
+            raise InvalidParameterError(
+                f"jobs must arrive in release order: got release {job.release} "
+                f"after {self._last_release}"
+            )
+        self._last_release = max(self._last_release, job.release)
+        job_id = len(self._jobs)
+        self._jobs.append(job)
+
+        self._refine_grid(job)
+        assert self._grid is not None
+        ks = list(self._grid.covering(job.release, job.deadline))
+        lengths = self._grid.lengths
+
+        caches = [
+            SortedLoads(self._loads[:, k], self.m, float(lengths[k])) for k in ks
+        ]
+        outcome = waterfill_job(
+            caches,
+            workload=job.workload,
+            value=job.value,
+            delta=self.delta,
+            power=self.power,
+        )
+
+        n_new = job_id + 1
+        grown = np.zeros((n_new, self._grid.size))
+        grown[:job_id] = self._loads
+        self._loads = grown
+        grown_p = np.zeros((n_new, self._grid.size))
+        grown_p[:job_id] = self._planned
+        self._planned = grown_p
+
+        if outcome.accepted:
+            self._loads[job_id, ks] = outcome.loads
+            self._planned[job_id, ks] = outcome.loads
+        else:
+            self._planned[job_id, ks] = outcome.loads
+
+        decision = JobDecision(
+            job_id=job_id,
+            accepted=outcome.accepted,
+            lam=outcome.lam,
+            planned_speed=outcome.speed,
+            planned_work=outcome.planned_work,
+        )
+        self._decisions.append(decision)
+        return decision
+
+    def finish(self) -> PDResult:
+        if not self._jobs:
+            raise InvalidParameterError("no jobs were processed")
+        assert self._grid is not None
+        instance = Instance(tuple(self._jobs), m=self.m, alpha=self._alpha)
+        finished = np.array([d.accepted for d in self._decisions], dtype=bool)
+        schedule = Schedule(
+            instance=instance,
+            grid=self._grid,
+            loads=self._loads.copy(),
+            finished=finished,
+        )
+        return PDResult(
+            schedule=schedule,
+            decisions=tuple(self._decisions),
+            lambdas=np.array([d.lam for d in self._decisions]),
+            planned_loads=self._planned.copy(),
+            delta=self.delta,
+        )
+
+    def _refine_grid(self, job: Job) -> None:
+        if self._grid is None:
+            self._grid = Grid.from_points([job.release, job.deadline])
+            self._loads = np.zeros((0, self._grid.size))
+            self._planned = np.zeros((0, self._grid.size))
+            return
+        refinement = self._grid.refine([job.release, job.deadline])
+        if refinement.grid.same_as(self._grid):
+            return
+        self._loads = _remap_rows(self._loads, refinement)
+        self._planned = _remap_rows(self._planned, refinement)
+        self._grid = refinement.grid
+
+
+def _remap_rows(matrix: FloatArray, refinement) -> FloatArray:
+    """Apply a grid refinement to every row of a per-interval matrix."""
+    if matrix.shape[0] == 0:
+        return np.zeros((0, refinement.grid.size))
+    return np.stack([refinement.split_row(row) for row in matrix])
+
+
+def run_pd_reference(
+    instance: Instance, *, delta: float | None = None
+) -> PDResult:
+    """Run the historical dense-matrix PD on a full instance."""
+    ordered = instance.sorted_by_release()
+    scheduler = PDSchedulerReference(
+        m=ordered.m, alpha=ordered.alpha, delta=delta
+    )
+    for job in ordered.jobs:
+        scheduler.arrive(job)
+    return scheduler.finish()

@@ -573,6 +573,162 @@ class TestWorkStealing:
             shard_assignment(4, 2, strategy="steal")
 
 
+class TestClaimLeases:
+    """Claim leases: a claimed-but-unreported cell is reissued after a
+    TTL, so one crashed worker cannot strand tail cells."""
+
+    def test_expired_leases_are_reissued(self):
+        clock = {"now": 0.0}
+        table = InProcessClaimTable(
+            3, lease_ttl=10.0, clock=lambda: clock["now"]
+        )
+        assert table.claim(2) == [0, 1]
+        clock["now"] = 5.0
+        assert table.claim() == [2]  # leases still healthy: fresh cell
+        clock["now"] = 10.5  # positions 0 and 1 expired, 2 still leased
+        assert table.claim(5) == [0, 1]
+        clock["now"] = 25.0  # everything expired again
+        assert table.claim(5) == [0, 1, 2]
+
+    def test_done_positions_are_never_reissued(self):
+        clock = {"now": 0.0}
+        table = InProcessClaimTable(
+            2, lease_ttl=1.0, clock=lambda: clock["now"]
+        )
+        assert table.claim(2) == [0, 1]
+        table.done([0])
+        clock["now"] = 100.0
+        assert table.claim(5) == [1]  # only the unreported lease returns
+
+    def test_lease_ttl_validation(self):
+        for bad in (0.0, -1.0, float("nan"), float("inf"), "soon"):
+            with pytest.raises(InvalidParameterError, match="lease_ttl"):
+                InProcessClaimTable(3, lease_ttl=bad)
+        with pytest.raises(InvalidParameterError, match="done positions"):
+            InProcessClaimTable(3, lease_ttl=1.0).done([7])
+
+    def test_no_lease_table_keeps_exactly_once(self):
+        table = InProcessClaimTable(2)
+        assert table.claim(2) == [0, 1]
+        assert table.claim(5) == []  # drained forever, nothing reissued
+
+    def test_kill_one_worker_cells_flow_to_the_survivor(
+        self, requests, plain_records, server
+    ):
+        """A worker that claims cells and dies never reports done; after
+        the TTL a healthy worker is handed those cells and the union
+        still covers the full grid."""
+        total = len(requests)
+        crashed = HttpClaimTable(
+            server.url, "lease-sweep", total, lease_ttl=0.2
+        )
+        assert crashed.claim(2) == [0, 1]  # ...and the worker dies here
+
+        survivor = HttpClaimTable(
+            server.url, "lease-sweep", total, lease_ttl=0.2
+        )
+        assert survivor.token == crashed.token
+        time.sleep(0.25)  # let the dead worker's leases expire
+        runner = BatchRunner()
+        pairs = runner.run_stolen(requests, survivor)
+        assert [position for position, _ in pairs] == list(range(total))
+        assert _strip([r for _, r in pairs]) == _strip(plain_records)
+
+    def test_survivor_waits_out_live_leases_instead_of_draining(
+        self, requests, plain_records, server
+    ):
+        """A worker that exhausts the fresh queue while another worker's
+        leases are still live must poll until they expire (or are
+        reported done), not exit — otherwise nobody is left claiming
+        when a crashed worker's leases lapse."""
+        total = len(requests)
+        crashed = HttpClaimTable(
+            server.url, "lease-wait", total, lease_ttl=0.6
+        )
+        assert crashed.claim(2) == [0, 1]  # dies holding live leases
+        survivor = HttpClaimTable(
+            server.url, "lease-wait", total, lease_ttl=0.6
+        )
+        start = time.monotonic()
+        pairs = BatchRunner().run_stolen(requests, survivor)  # no sleep!
+        assert [position for position, _ in pairs] == list(range(total))
+        assert _strip([r for _, r in pairs]) == _strip(plain_records)
+        # It must have outlived the crashed worker's lease to get 0/1.
+        assert time.monotonic() - start >= 0.3
+
+    def test_no_done_traffic_without_leases(self, requests):
+        class SpyTable(InProcessClaimTable):
+            def __init__(self, total):
+                super().__init__(total)
+                self.done_calls = 0
+
+            def done(self, positions):
+                self.done_calls += 1
+                super().done(positions)
+
+        table = SpyTable(len(requests))
+        BatchRunner().run_stolen(requests, table)
+        assert table.done_calls == 0  # lease-less: historical protocol
+
+    def test_lease_policy_mismatch_rejected(self, server):
+        HttpClaimTable(server.url, "lease-policy", 4, lease_ttl=5.0)
+        with pytest.raises(CacheError, match="rejected this worker"):
+            HttpClaimTable(server.url, "lease-policy", 4)
+        with pytest.raises(CacheError, match="rejected this worker"):
+            HttpClaimTable(server.url, "lease-policy", 4, lease_ttl=9.0)
+
+    def test_done_reports_survive_restartless_rejoin(self, server):
+        """Reported cells stay retired for the server's lifetime: a
+        worker rejoining the session is not handed finished work."""
+        first = HttpClaimTable(server.url, "lease-rejoin", 2, lease_ttl=0.05)
+        assert first.claim(2) == [0, 1]
+        first.done([0, 1])
+        time.sleep(0.1)
+        rejoined = HttpClaimTable(
+            server.url, "lease-rejoin", 2, lease_ttl=0.05
+        )
+        assert rejoined.claim(5) == []
+
+    def test_http_done_validates_positions(self, server):
+        table = HttpClaimTable(server.url, "lease-valid", 3, lease_ttl=1.0)
+        with pytest.raises(InvalidParameterError, match="done positions"):
+            table.done([5])
+        with pytest.raises(InvalidParameterError, match="done positions"):
+            table.done([True])
+
+    def test_own_expired_lease_is_not_recomputed(self, requests, plain_records):
+        """A worker slower than its own lease gets its cells handed back
+        by the table; it must skip them, not duplicate them."""
+        table = InProcessClaimTable(
+            len(requests), lease_ttl=1e-9
+        )  # every lease expires effectively immediately
+        runner = BatchRunner(workers=2)
+        pairs = runner.run_stolen(requests, table)
+        assert [position for position, _ in pairs] == list(
+            range(len(requests))
+        )
+        assert _strip([r for _, r in pairs]) == _strip(plain_records)
+
+    def test_cli_rejects_lease_without_steal(self, tmp_path):
+        from repro.io.cli import main
+
+        code = main(
+            [
+                "sweep",
+                "poisson",
+                "-n",
+                "4",
+                "--seeds",
+                "0",
+                "--lease-ttl",
+                "5",
+                "--json",
+                str(tmp_path / "out.json"),
+            ]
+        )
+        assert code == 2  # InvalidParameterError surfaced as exit 2
+
+
 class TestSqliteConcurrency:
     """Satellite bugfix: SQLITE_BUSY retries instead of crashing."""
 
@@ -812,6 +968,50 @@ class TestCacheCli:
             assert first_records["assignment"] != rerun_records["assignment"]
         finally:
             srv.stop()
+
+    def test_steal_merge_tolerates_reissued_duplicates(
+        self, tmp_path, capsys
+    ):
+        """Lease reissue makes steal claiming at-least-once: a slow
+        worker and the reissue's recipient can both record one cell.
+        The merge keeps one copy (differing only in cached/wall_time
+        bookkeeping) instead of failing the whole sweep."""
+        from repro.io.cli import main
+
+        backend = MemoryCache()
+        srv = CacheServer(backend).start()
+        try:
+            full = str(tmp_path / "full.json")
+            assert main(self.BASE + ["--json", full]) == 0
+            shards = [str(tmp_path / f"s{i}.json") for i in range(2)]
+            for index, shard_path in enumerate(shards):
+                argv = self.BASE + [
+                    "--shard", f"{index}/2", "--shard-strategy", "steal",
+                    "--cache-backend", "http", "--cache-url", srv.url,
+                    "--json", shard_path,
+                ]
+                assert main(argv) == 0
+        finally:
+            srv.stop()
+        donor, receiver = (json.load(open(path)) for path in shards)
+        stolen_position = donor["positions"][0]
+        twin = dict(donor["records"][0])
+        twin["cached"] = not twin["cached"]  # recomputed elsewhere
+        twin["wall_time"] = 123.456  # on a different machine
+        receiver["positions"].append(stolen_position)
+        receiver["records"].append(twin)
+        json.dump(receiver, open(shards[1], "w"))
+        merged = str(tmp_path / "merged.json")
+        assert main(["sweep", "--merge", *shards, "--json", merged]) == 0
+        assert "duplicate record" in capsys.readouterr().err
+        with open(full, "rb") as a, open(merged, "rb") as b:
+            assert a.read() == b.read()
+        # A duplicate with a *different result* is corruption, not a
+        # reissue — that still fails loudly.
+        twin["cost"] = twin["cost"] + 1.0
+        json.dump(receiver, open(shards[1], "w"))
+        assert main(["sweep", "--merge", *shards]) == 2
+        assert "different results" in capsys.readouterr().err
 
     def test_steal_merge_detects_tail_holes(self, tmp_path, capsys):
         """Cells a dead worker claimed but never computed must fail the

@@ -30,6 +30,7 @@ FAST_EXAMPLES = [
     ("profit_vs_loss.py", "margin"),
     ("adversary_hunt.py", "bound"),
     ("leakage_power.py", "leak"),
+    ("pd_10k_jobs.py", "certificate holds"),
 ]
 
 

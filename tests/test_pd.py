@@ -79,14 +79,16 @@ class TestOnlineDiscipline:
         """PD never redistributes earlier jobs (the Figure 3 property)."""
         sched = PDScheduler(m=1, alpha=3.0)
         sched.arrive(Job(0.0, 4.0, 2.0, 1e9))
-        loads_before = sched._loads.copy()
+        loads_before = sched.snapshot_loads()
         grid_before = sched._grid
         sched.arrive(Job(1.0, 2.0, 1.0, 1e9))
         # Re-express the old loads on the new grid: they must be exactly
         # the proportional split, with all new work on the new row.
         ref = grid_before.refine([1.0, 2.0])
         expected_row0 = ref.split_row(loads_before[0])
-        np.testing.assert_allclose(sched._loads[0], expected_row0, rtol=1e-12)
+        np.testing.assert_allclose(
+            sched.snapshot_loads()[0], expected_row0, rtol=1e-12
+        )
 
     def test_grid_refinement_transparent(self):
         """Feeding the same jobs with a pre-known grid changes nothing.

@@ -1,0 +1,402 @@
+"""Bit-parity suite for the incremental kernel layer (``repro.perf``).
+
+The kernels promise that speed is an execution strategy, never a result
+change: the incremental PD scheduler, the batched window evaluator, the
+vectorized YDS scan, the inlined energy loop, and the vectorized
+certificate helpers must produce **bitwise identical** outputs to the
+historical implementations — same schedules, same costs, same
+certificates, and therefore same cache keys (the engine's record
+payloads hash identically, so every pre-kernel cache entry stays
+valid). Each test here runs old and new side by side and compares with
+exact equality, never tolerances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.certificates import dual_certificate
+from repro.chen.interval_power import SortedLoads
+from repro.classical.oa import run_oa
+from repro.classical.yds import yds
+from repro.core.pd import run_pd
+from repro.core.waterfill import waterfill_job
+from repro.engine.runner import RECORD_VERSION, request_key
+from repro.io.serialize import schedule_to_dict, stable_hash
+from repro.model.intervals import Grid
+from repro.model.job import Instance
+from repro.perf.kernels import IntervalLoads, WindowKernel
+from repro.perf.reference import run_pd_reference
+from repro.workloads import (
+    heavy_tail_instance,
+    poisson_instance,
+    uniform_instance,
+)
+
+#: (family, n, m) — includes multiprocessor and heavy-tail shapes.
+FAMILIES = [
+    (poisson_instance, 40, 1),
+    (poisson_instance, 40, 4),
+    (heavy_tail_instance, 32, 2),
+    (uniform_instance, 24, 3),
+]
+
+
+def degenerate_single_interval(n: int = 12, m: int = 2) -> Instance:
+    """Every job shares one window: the grid never refines past one
+    atomic interval — the degenerate shape the split-copy path never
+    sees and the insertion path sees constantly."""
+    rng = np.random.default_rng(5)
+    jobs = [
+        (0.0, 4.0, float(w), float(v))
+        for w, v in zip(
+            rng.exponential(1.0, n) + 1e-3, rng.uniform(0.05, 8.0, n)
+        )
+    ]
+    return Instance.from_tuples(jobs, m=m, alpha=3.0)
+
+
+def assert_pd_parity(instance: Instance) -> None:
+    new = run_pd(instance)
+    old = run_pd_reference(instance)
+    assert np.array_equal(new.schedule.loads, old.schedule.loads)
+    assert np.array_equal(new.planned_loads, old.planned_loads)
+    assert np.array_equal(new.lambdas, old.lambdas)
+    assert np.array_equal(new.schedule.finished, old.schedule.finished)
+    assert new.decisions == old.decisions
+    assert new.schedule.energy == old.schedule.energy
+    assert new.cost == old.cost
+    cert_new, cert_old = dual_certificate(new), dual_certificate(old)
+    assert cert_new.g == cert_old.g
+    assert cert_new.ratio == cert_old.ratio
+    assert cert_new.contributors == cert_old.contributors
+    assert np.array_equal(cert_new.s_hat, cert_old.s_hat)
+
+
+class TestPDParity:
+    @pytest.mark.parametrize("family,n,m", FAMILIES)
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_families_bitwise_identical(self, family, n, m, seed):
+        assert_pd_parity(family(n, m=m, alpha=3.0, seed=seed))
+
+    def test_degenerate_single_interval_grid(self):
+        assert_pd_parity(degenerate_single_interval())
+
+    def test_classical_infinite_values(self):
+        base = poisson_instance(24, m=1, alpha=3.0, seed=2)
+        inst = Instance.classical(
+            [(j.release, j.deadline, j.workload) for j in base.jobs],
+            m=1,
+            alpha=3.0,
+        )
+        assert_pd_parity(inst)
+
+    def test_sweep_cells_share_cache_identity(self):
+        """The engine contract behind 'same cache keys': the record
+        version is unbumped, request keys depend only on inputs, and
+        the serialized schedule payload — the record body that gets
+        content-hashed — is byte-identical old vs new."""
+        assert RECORD_VERSION == 2  # a bump would cold-start every cache
+        inst = poisson_instance(30, m=2, alpha=3.0, seed=1)
+        assert request_key("pd", inst) == request_key("pd", inst)
+        new = run_pd(inst)
+        old = run_pd_reference(inst)
+        assert stable_hash(schedule_to_dict(new.schedule)) == stable_hash(
+            schedule_to_dict(old.schedule)
+        )
+
+
+class TestKernelPrimitives:
+    @pytest.mark.parametrize("m", [1, 2, 5])
+    def test_interval_loads_matches_sorted_loads(self, m):
+        rng = np.random.default_rng(9)
+        store = IntervalLoads()
+        inserted: list[float] = []
+        length = 0.75
+        for job_id in range(40):
+            load = float(rng.exponential(1.0) + 1e-6)
+            store.insert(job_id, load)
+            inserted.append(load)
+            reference = SortedLoads(np.array(inserted), m, length)
+            for speed in (0.0, 0.3, 1.0, 2.7, float(rng.uniform(0, 5))):
+                assert store.max_load_at_speed(
+                    speed, m, length
+                ) == reference.max_load_at_speed(speed)
+
+    def test_interval_loads_split_matches_rescaled_sort(self):
+        rng = np.random.default_rng(4)
+        store = IntervalLoads()
+        loads = rng.exponential(1.0, 25) + 1e-6
+        for job_id, load in enumerate(loads):
+            store.insert(job_id, float(load))
+        fraction = 0.37
+        child = store.split(fraction)
+        reference = SortedLoads(loads * fraction, 3, 0.5)
+        for speed in np.linspace(0.0, 4.0, 23):
+            assert child.max_load_at_speed(
+                float(speed), 3, 0.5
+            ) == reference.max_load_at_speed(float(speed))
+
+    @pytest.mark.parametrize("k", [1, 3, 31, 32, 40])
+    def test_window_kernel_matches_python_sum(self, k):
+        """Both kernel paths — the scalar loop (narrow windows) and the
+        batched numpy pass (wide ones, k >= 32) — must equal the
+        reference's left-to-right Python sum over SortedLoads bit for
+        bit."""
+        rng = np.random.default_rng(k)
+        m = 3
+        stores, caches, lengths = [], [], []
+        for _ in range(k):
+            p = int(rng.integers(0, 9))
+            loads = rng.exponential(1.0, p) + 1e-6
+            length = float(rng.uniform(0.1, 2.0))
+            store = IntervalLoads()
+            for job_id, load in enumerate(loads):
+                store.insert(job_id, float(load))
+            stores.append(store)
+            caches.append(SortedLoads(loads, m, length))
+            lengths.append(length)
+        kernel = WindowKernel(stores, lengths, m)
+        for speed in [0.0, *np.linspace(0.01, 6.0, 37)]:
+            speed = float(speed)
+            expected_total = float(
+                sum(c.max_load_at_speed(speed) for c in caches)
+            )
+            expected_loads = np.array(
+                [c.max_load_at_speed(speed) for c in caches]
+            )
+            assert kernel.total_at_speed(speed) == expected_total
+            assert np.array_equal(kernel.loads_at_speed(speed), expected_loads)
+
+    def test_waterfill_accepts_kernel_and_caches_identically(self):
+        rng = np.random.default_rng(7)
+        m = 2
+        stores, caches, lengths = [], [], []
+        for _ in range(5):
+            loads = rng.exponential(1.0, 4) + 1e-6
+            length = float(rng.uniform(0.2, 1.5))
+            store = IntervalLoads()
+            for job_id, load in enumerate(loads):
+                store.insert(job_id, float(load))
+            stores.append(store)
+            caches.append(SortedLoads(loads, m, length))
+            lengths.append(length)
+        from repro.model.power import PolynomialPower
+
+        power = PolynomialPower(3.0)
+        for workload, value in [(0.7, 2.0), (3.0, 0.4), (1.2, np.inf)]:
+            via_kernel = waterfill_job(
+                WindowKernel(stores, lengths, m),
+                workload=workload,
+                value=value,
+                delta=power.optimal_delta,
+                power=power,
+            )
+            via_caches = waterfill_job(
+                caches,
+                workload=workload,
+                value=value,
+                delta=power.optimal_delta,
+                power=power,
+            )
+            assert via_kernel.accepted == via_caches.accepted
+            assert via_kernel.lam == via_caches.lam
+            assert via_kernel.speed == via_caches.speed
+            assert np.array_equal(via_kernel.loads, via_caches.loads)
+
+    def test_interval_loads_rejects_nonpositive(self):
+        store = IntervalLoads()
+        with pytest.raises(Exception, match="> 0"):
+            store.insert(0, 0.0)
+
+
+class TestGridRefineParity:
+    def _reference_refine(self, grid: Grid, new_points):
+        """Transcription of the historical O(N log N) refine loop."""
+        existing = grid.boundaries.tolist()
+        eps = 1e-12
+        fresh = [
+            p
+            for p in map(float, new_points)
+            if not any(abs(p - b) <= eps for b in existing)
+        ]
+        merged: list[float] = []
+        for p in sorted(set(fresh) | set(existing)):
+            if not merged or p - merged[-1] > eps:
+                merged.append(p)
+        new = Grid(np.array(merged))
+        parent = np.empty(new.size, dtype=np.int64)
+        fraction = np.empty(new.size, dtype=np.float64)
+        old_lo, old_hi = grid.span
+        for k in range(new.size):
+            a, b = new.interval(k)
+            if a < old_lo - eps or b > old_hi + eps:
+                parent[k] = -1
+                fraction[k] = 1.0
+                continue
+            p = grid.locate(a)
+            parent[k] = p
+            fraction[k] = (b - a) / grid.length(p)
+        return new, parent, fraction
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_refinements_bitwise_identical(self, seed):
+        rng = np.random.default_rng(seed)
+        boundaries = np.sort(rng.uniform(0.0, 10.0, 7))
+        boundaries[0], boundaries[-1] = 0.0, 10.0
+        grid = Grid(boundaries)
+        points = rng.uniform(-2.0, 12.0, 5).tolist()
+        points.append(float(boundaries[2]))  # exact boundary: must snap
+        refinement = grid.refine(points)
+        ref_grid, ref_parent, ref_fraction = self._reference_refine(
+            grid, points
+        )
+        assert np.array_equal(refinement.grid.boundaries, ref_grid.boundaries)
+        assert np.array_equal(refinement.parent, ref_parent)
+        assert np.array_equal(refinement.fraction, ref_fraction)
+
+
+class TestYdsOaParity:
+    def classical(self, n, seed, family=poisson_instance):
+        inst = family(n, m=1, alpha=3.0, seed=seed)
+        return Instance.classical(
+            [(j.release, j.deadline, j.workload) for j in inst.jobs],
+            m=1,
+            alpha=3.0,
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize(
+        "family", [poisson_instance, uniform_instance, heavy_tail_instance]
+    )
+    def test_yds_fast_scan_equals_reference(self, seed, family):
+        inst = self.classical(18, seed, family)
+        fast = yds(inst)
+        slow = yds(inst, scan="reference")
+        assert np.array_equal(fast.schedule.loads, slow.schedule.loads)
+        assert np.array_equal(fast.job_speeds, slow.job_speeds)
+        assert fast.groups == slow.groups
+        assert fast.segments == slow.segments
+        assert fast.energy == slow.energy
+
+    def test_yds_exact_intensity_ties(self):
+        """Symmetric windows with exactly equal critical intensities:
+        the fast scan must keep the reference's first-wins tie rule."""
+        inst = Instance.classical(
+            [
+                (0.0, 2.0, 1.0),
+                (2.0, 4.0, 1.0),
+                (4.0, 6.0, 1.0),
+                (0.0, 6.0, 1.0),
+                (1.0, 3.0, 1.0),
+            ],
+            m=1,
+            alpha=3.0,
+        )
+        fast, slow = yds(inst), yds(inst, scan="reference")
+        assert fast.groups == slow.groups
+        assert np.array_equal(fast.schedule.loads, slow.schedule.loads)
+
+    def test_yds_fully_frozen_windows_are_not_misread(self):
+        """Laminar (nested-window) instances freeze whole sub-windows in
+        early rounds; removal dust in the float workload buckets must
+        not make an emptied, fully-frozen window look occupied (which
+        would raise a spurious SolverError). Regression test."""
+        inst = Instance.classical(
+            [
+                (0.0, 8.0, 1.7),
+                (0.0, 4.0, 2.3),
+                (1.0, 3.0, 1.9),
+                (1.5, 2.5, 0.6),
+                (4.0, 8.0, 0.9),
+                (5.0, 7.0, 1.1),
+            ],
+            m=1,
+            alpha=3.0,
+        )
+        fast, slow = yds(inst), yds(inst, scan="reference")
+        assert fast.groups == slow.groups
+        assert np.array_equal(fast.schedule.loads, slow.schedule.loads)
+
+    def test_yds_rejects_unknown_scan(self):
+        inst = self.classical(4, 0)
+        with pytest.raises(Exception, match="scan"):
+            yds(inst, scan="turbo")
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_oa_on_reference_plans_is_unchanged(self, seed, monkeypatch):
+        """OA replans through YDS; pinning its plans to the reference
+        scan must not change a single executed segment."""
+        import repro.classical.oa as oa_module
+
+        inst = self.classical(24, seed)
+        fast = run_oa(inst)
+        original = oa_module.yds
+        monkeypatch.setattr(
+            oa_module, "yds", lambda sub: original(sub, scan="reference")
+        )
+        slow = run_oa(inst)
+        assert fast.segments == slow.segments
+        assert np.array_equal(fast.schedule.loads, slow.schedule.loads)
+        assert fast.energy == slow.energy
+
+
+class TestCertificateHelpersParity:
+    def test_contributing_jobs_matches_literal_rescan(self):
+        from repro.analysis.certificates import contributing_jobs
+
+        rng = np.random.default_rng(3)
+        n, big_n, m = 30, 17, 3
+        first = rng.integers(0, big_n - 1, n)
+        width = rng.integers(1, 6, n)
+        avail = np.zeros((n, big_n), dtype=bool)
+        for j in range(n):
+            avail[j, first[j] : min(big_n, first[j] + width[j])] = True
+        s_hat = rng.exponential(1.0, n)
+        s_hat[rng.random(n) < 0.2] = 0.0
+
+        order_all = np.lexsort((np.arange(n), -s_hat))
+        expected = []
+        for k in range(big_n):
+            picked = []
+            for j in order_all:
+                if len(picked) == m:
+                    break
+                if avail[j, k] and s_hat[j] > 0.0:
+                    picked.append(int(j))
+            expected.append(tuple(picked))
+        assert contributing_jobs(avail, s_hat, m) == tuple(expected)
+
+    def test_contributing_jobs_noncontiguous_fallback(self):
+        from repro.analysis.certificates import contributing_jobs
+
+        avail = np.array(
+            [[True, False, True], [True, True, True]], dtype=bool
+        )
+        s_hat = np.array([2.0, 1.0])
+        assert contributing_jobs(avail, s_hat, 1) == ((0,), (1,), (0,))
+
+    def test_pool_level_matches_literal_scan(self):
+        from repro.chen.interval_power import _LOAD_EPS, pool_level
+
+        rng = np.random.default_rng(8)
+        for m in (1, 2, 4, 9):
+            for _ in range(30):
+                p = int(rng.integers(0, 12))
+                loads = rng.exponential(1.0, p)
+                loads[rng.random(p) < 0.3] = 0.0
+                arr = np.sort(loads)[::-1]
+                suffix = np.concatenate(
+                    (np.cumsum(arr[::-1])[::-1], [0.0])
+                ) if p else np.zeros(1)
+                expected = None
+                for d in range(0, min(p, m - 1) + 1):
+                    level = float(suffix[d]) / (m - d)
+                    upper_ok = d == 0 or float(arr[d - 1]) >= level - _LOAD_EPS
+                    lower_ok = d >= p or float(arr[d]) <= level + _LOAD_EPS
+                    if upper_ok and lower_ok:
+                        expected = max(level, 0.0)
+                        break
+                assert expected is not None
+                assert pool_level(loads, m) == expected
