@@ -10,6 +10,12 @@ arrivals land on a coarse slot grid (requests batched per scheduling
 quantum), so the atomic-interval grid stays compact (~hundreds of
 intervals) while the job count scales freely.
 
+The workload is the library's registered ``slotted`` family
+(:func:`repro.workloads.slotted_instance`), which builds the instance
+as a columnar :class:`~repro.model.job_arrays.JobArrays` block — no
+per-job objects until an algorithm asks for them. For ten times this
+scale, see ``pd_100k_jobs.py``.
+
 Run it:
 
     PYTHONPATH=src python examples/pd_10k_jobs.py
@@ -22,44 +28,17 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
+from repro import Instance, dual_certificate, run_pd
+from repro.workloads import slotted_instance
 
-from repro import Instance, Job, dual_certificate, run_pd
 
-
-def slotted_instance(
-    n: int = 10_000,
-    *,
-    slots: int = 400,
-    m: int = 4,
-    alpha: float = 3.0,
-    seed: int = 0,
-) -> Instance:
-    """A slotted request stream: ``n`` jobs over ``slots`` time slots.
-
-    Releases snap to slot boundaries and windows span 1–6 slots, so the
-    number of distinct event times — and with it the atomic grid — is
-    bounded by the slot count, not the job count.
-    """
-    rng = np.random.default_rng(seed)
-    release_slots = np.sort(rng.integers(0, slots, size=n))
-    spans = rng.integers(1, 7, size=n)
-    workloads = rng.exponential(1.0, size=n) + 1e-3
-    values = rng.uniform(0.05, 8.0, size=n) * workloads
-    jobs = [
-        Job(
-            release=float(release_slots[i]),
-            deadline=float(release_slots[i] + spans[i]),
-            workload=float(workloads[i]),
-            value=float(values[i]),
-        )
-        for i in range(n)
-    ]
-    return Instance(tuple(jobs), m=m, alpha=alpha)
+def make_instance(n: int = 10_000) -> Instance:
+    """10k jobs over 400 slots on 4 processors (seeded, reproducible)."""
+    return slotted_instance(n, slots=400, m=4, alpha=3.0, seed=0)
 
 
 def main() -> None:
-    inst = slotted_instance()
+    inst = make_instance()
     print(
         f"instance: {inst.n} jobs, m={inst.m}, alpha={inst.alpha}, "
         f"{len(set(inst.event_times().tolist()))} distinct event times"

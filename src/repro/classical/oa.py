@@ -26,9 +26,10 @@ from ..errors import InvalidParameterError
 from ..model.job import Instance, Job
 from ..model.schedule import Schedule
 from .execution import schedule_from_segments
-from .yds import YdsResult, yds
+from .timeline import IntervalSet, edf_execute
+from .yds import YdsResult, _critical_window, yds
 
-__all__ = ["OAResult", "oa_plan", "run_oa", "run_oa_multiprocessor"]
+__all__ = ["OAResult", "oa_plan", "oa_segments", "run_oa", "run_oa_multiprocessor"]
 
 _EPS = 1e-12
 _WORK_TOL = 1e-9
@@ -101,65 +102,225 @@ def oa_plan(
     )
 
 
-def run_oa(instance: Instance) -> OAResult:
-    """Simulate OA on a single-processor instance (all jobs are finished).
+class _PlanJob:
+    """A plan-instance job for the critical-window scan: 3 plain floats."""
 
-    Job values are ignored — OA predates the profitable model. The
-    simulation advances from arrival epoch to arrival epoch, executing the
-    current plan's EDF segments in between.
+    __slots__ = ("release", "deadline", "workload")
+
+    def __init__(self, release: float, deadline: float, workload: float) -> None:
+        self.release = release
+        self.deadline = deadline
+        self.workload = workload
+
+
+class _PlanView:
+    """Indexable shim standing in for a sub-``Instance`` in YDS scans.
+
+    :func:`repro.classical.yds._critical_window` only reads
+    ``instance[j].release/.deadline/.workload`` — this view serves the
+    exact floats a materialized sub-instance's ``Job`` objects would
+    hold, without constructing any of them.
+    """
+
+    __slots__ = ("_jobs",)
+
+    def __init__(self, jobs: list[_PlanJob]) -> None:
+        self._jobs = jobs
+
+    def __getitem__(self, j: int) -> _PlanJob:
+        return self._jobs[j]
+
+
+def _execute_plan_prefix(
+    *,
+    now: float,
+    t_next: float,
+    alive: list[int],
+    remaining: dict[int, float],
+    deadlines: dict[int, float],
+    executed: list[tuple[int, float, float, float]],
+    unfinished: set,
+    alive_pool: set,
+) -> None:
+    """Lazily plan-and-execute one OA epoch: only the prefix before ``t_next``.
+
+    The full replan (``oa_plan`` + segment walk) computes the *entire*
+    YDS plan for the remaining work and then discards everything after
+    the next arrival. But every plan job shares release ``now``, so the
+    YDS rounds have a special structure: each round's critical window is
+    ``[now, b_i]`` with ``b_1 < b_2 < ...`` (only windows anchored at the
+    common release contain jobs), the frozen set stays one contiguous
+    block ``[now, b_i]``, and round ``i``'s EDF segments all live inside
+    ``[b_{i-1}, b_i]``. Each round depends only on the rounds before it —
+    so the group sequence can be generated lazily and cut off at the
+    first round whose window ends at or past ``t_next``: every segment
+    the reference would still produce starts at or after that boundary
+    and is dropped by its own ``a >= t_next - _EPS`` break. The rounds
+    that *are* generated run through the same ``_critical_window`` /
+    ``IntervalSet`` / ``edf_execute`` code on the same floats, so the
+    executed prefix is bitwise the reference's (asserted by the parity
+    suite on every differential case).
+
+    Sub-job ids are positions in ``alive`` (ascending caller ids) — the
+    same monotone relabeling ``oa_plan`` applies, so every id-based
+    tie-break inside the scan and the EDF heap orders identically.
+    """
+    view = _PlanView(
+        [_PlanJob(now, deadlines[j], remaining[j]) for j in alive]
+    )
+    rem_sub = set(range(len(alive)))
+    frozen = IntervalSet.empty()
+    while rem_sub:
+        events = sorted(
+            {view[j].release for j in rem_sub}
+            | {view[j].deadline for j in rem_sub}
+        )
+        g, a, b, inside = _critical_window(view, rem_sub, events, frozen)
+        region = IntervalSet.span(a, b).subtract(frozen)
+        job_ids = tuple(sorted(inside))
+        frozen = frozen.union(region)
+        rem_sub -= set(inside)
+        segs = edf_execute(
+            job_ids=list(job_ids),
+            releases=[view[j].release for j in job_ids],
+            deadlines=[view[j].deadline for j in job_ids],
+            workloads=[view[j].workload for j in job_ids],
+            region=region,
+            speed=g,
+        )
+        for j_sub, sa, sb, speed in segs:
+            if sa >= t_next - _EPS:
+                return
+            hi = min(sb, t_next)
+            if hi <= sa + _EPS:
+                continue
+            job = alive[j_sub]
+            executed.append((job, sa, hi, speed))
+            remaining[job] -= (hi - sa) * speed
+            if remaining[job] < 0.0:
+                remaining[job] = 0.0
+            if remaining[job] <= _WORK_TOL:
+                unfinished.discard(job)
+                alive_pool.discard(job)
+        if b >= t_next - _EPS:
+            # Every later round's segments start at or after this
+            # window's end — the reference drops them all.
+            return
+
+
+def oa_segments(
+    instance: Instance, *, replan: str = "incremental"
+) -> tuple[Instance, list[tuple[int, float, float, float]]]:
+    """Simulate OA and return ``(ordered_instance, executed_segments)``.
+
+    The segment-level core of :func:`run_oa`, exposed separately so
+    large-scale callers (the bench harness) can consume the executed
+    trajectory without materializing the dense schedule matrix.
+
+    ``replan="incremental"`` (default) generates each epoch's YDS plan
+    lazily and stops at the first critical interval past the next
+    arrival; ``replan="reference"`` is the historical from-scratch
+    replan (full YDS plan per epoch, via :func:`oa_plan`), retained for
+    differential testing. Identical output — bit for bit — either way.
     """
     if instance.m != 1:
         raise InvalidParameterError(
             f"run_oa is single-processor; instance has m={instance.m}. "
             "Use run_oa_multiprocessor for m > 1."
         )
+    if replan not in ("incremental", "reference"):
+        raise InvalidParameterError(
+            f"replan must be 'incremental' or 'reference', got {replan!r}"
+        )
     ordered = instance.sorted_by_release()
     n = ordered.n
     releases = ordered.releases
     epochs = sorted(set(releases.tolist()))
-    horizon_end = max(j.deadline for j in ordered.jobs)
+    horizon_end = float(ordered.deadlines.max()) if n else 0.0
 
-    remaining = {j: ordered[j].workload for j in range(n)}
-    deadlines = {j: ordered[j].deadline for j in range(n)}
+    remaining = dict(enumerate(ordered.workloads.tolist()))
+    deadlines = dict(enumerate(ordered.deadlines.tolist()))
     executed: list[tuple[int, float, float, float]] = []
 
     # Releases are sorted, so the known set is a growing prefix, and
     # the "any work left" test is a maintained set of unfinished known
-    # jobs — O(1) per epoch instead of an O(n) rescan (the replan itself
-    # is the same batched YDS call either way).
+    # jobs — O(1) per epoch instead of an O(n) rescan. `alive_pool`
+    # additionally drops jobs whose deadline has passed (dust below the
+    # work tolerance), so building an epoch's alive list costs the size
+    # of the *actually alive* set, not of all unfinished bookkeeping.
     known_count = 0
     unfinished: set[int] = set()
+    alive_pool: set[int] = set()
 
     for idx, t in enumerate(epochs):
         t_next = epochs[idx + 1] if idx + 1 < len(epochs) else horizon_end
         while known_count < n and releases[known_count] <= t + _EPS:
             if remaining[known_count] > _WORK_TOL:
                 unfinished.add(known_count)
+                alive_pool.add(known_count)
             known_count += 1
         if not unfinished:
             continue
-        plan = oa_plan(
+        if replan == "reference":
+            plan = oa_plan(
+                now=t,
+                job_ids=list(range(known_count)),
+                remaining=remaining,
+                deadlines=deadlines,
+                alpha=ordered.alpha,
+            )
+            for job, a, b, speed in plan.segments:
+                if a >= t_next - _EPS:
+                    break
+                hi = min(b, t_next)
+                if hi <= a + _EPS:
+                    continue
+                executed.append((job, a, hi, speed))
+                remaining[job] -= (hi - a) * speed
+                if remaining[job] < 0.0:
+                    remaining[job] = 0.0
+                if remaining[job] <= _WORK_TOL:
+                    unfinished.discard(job)
+                    alive_pool.discard(job)
+            continue
+        alive = []
+        for j in sorted(alive_pool):
+            if deadlines[j] > t + _EPS:
+                alive.append(j)
+            else:
+                # A passed deadline never un-passes: prune for good.
+                alive_pool.discard(j)
+        if not alive:
+            # Work remains but nothing is plannable — the exact state in
+            # which the reference path's oa_plan raises.
+            raise InvalidParameterError("oa_plan called with no remaining work")
+        _execute_plan_prefix(
             now=t,
-            job_ids=list(range(known_count)),
+            t_next=t_next,
+            alive=alive,
             remaining=remaining,
             deadlines=deadlines,
-            alpha=ordered.alpha,
+            executed=executed,
+            unfinished=unfinished,
+            alive_pool=alive_pool,
         )
-        for job, a, b, speed in plan.segments:
-            if a >= t_next - _EPS:
-                break
-            hi = min(b, t_next)
-            if hi <= a + _EPS:
-                continue
-            executed.append((job, a, hi, speed))
-            remaining[job] -= (hi - a) * speed
-            if remaining[job] < 0.0:
-                remaining[job] = 0.0
-            if remaining[job] <= _WORK_TOL:
-                unfinished.discard(job)
 
+    return ordered, executed
+
+
+def run_oa(instance: Instance, *, replan: str = "incremental") -> OAResult:
+    """Simulate OA on a single-processor instance (all jobs are finished).
+
+    Job values are ignored — OA predates the profitable model. The
+    simulation advances from arrival epoch to arrival epoch, executing the
+    current plan's EDF segments in between. ``replan`` selects between
+    the incremental lazy-prefix planner (default) and the retained
+    historical from-scratch replan (``"reference"``); see
+    :func:`oa_segments`. The results are bit-identical.
+    """
+    ordered, executed = oa_segments(instance, replan=replan)
     schedule = schedule_from_segments(
-        ordered, executed, np.ones(n, dtype=bool)
+        ordered, executed, np.ones(ordered.n, dtype=bool)
     )
     return OAResult(schedule=schedule, segments=tuple(executed))
 

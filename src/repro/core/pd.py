@@ -276,6 +276,40 @@ class PDScheduler:
         return loads
 
     # ------------------------------------------------------------------
+    # Streaming cost accessors
+    # ------------------------------------------------------------------
+    def streaming_energy(self) -> float:
+        """Energy of the committed assignment, straight off the live stores.
+
+        Evaluates Equation (6) per interval from the descending-sorted
+        :class:`~repro.perf.kernels.IntervalLoads` stores without
+        materializing the dense ``(n, N)`` load matrix — the matrix a
+        million-job run cannot afford (``finish()`` would allocate tens
+        of gigabytes). Bit-identical to ``finish().schedule.energy``
+        on every instance where the dense matrix *is* affordable
+        (asserted by the parity suite).
+        """
+        if self._grid is None:
+            return 0.0
+        from ..perf.energy import stores_energy  # lazy: layering
+
+        return stores_energy(
+            self._states, self._grid.lengths, self.m, self.power
+        )
+
+    def streaming_lost_value(self) -> float:
+        """Sum of values of rejected jobs so far (no dense schedule)."""
+        if not self._jobs:
+            return 0.0
+        values = np.array([j.value for j in self._jobs], dtype=np.float64)
+        finished = np.array([d.accepted for d in self._decisions], dtype=bool)
+        return float(values[~finished].sum())
+
+    def streaming_cost(self) -> float:
+        """Energy plus lost value of the run so far (Equation (1))."""
+        return self.streaming_energy() + self.streaming_lost_value()
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _refine_grid(self, job: Job) -> None:

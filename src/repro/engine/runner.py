@@ -58,6 +58,12 @@ from ..io.serialize import (
 from ..model.job import Instance
 from .cache import CacheBackend, DirectoryCache
 from .registry import REGISTRY
+from .transport import (
+    TRANSPORTS,
+    decode_wire,
+    evaluate_request_wire,
+    resolve_transport,
+)
 
 __all__ = [
     "RunRequest",
@@ -668,10 +674,23 @@ class BatchRunner:
         :class:`~repro.engine.cache.CacheBackend` — e.g. a
         :class:`~repro.engine.cache.SqliteCache`. Hits skip evaluation
         entirely; backends are interchangeable bit for bit.
+    transport:
+        How worker processes return result payloads: ``"shm"`` ships
+        them through shared-memory segments (a constant-size ticket
+        crosses the result pipe instead of the multi-megabyte record),
+        ``"pickle"`` is the historical pipe transport, and ``"auto"``
+        (default) probes for shared-memory support and picks
+        accordingly. Irrelevant for ``workers=1``. Records are
+        byte-identical whichever transport carries them — see
+        :mod:`repro.engine.transport`.
     """
 
     def __init__(
-        self, *, workers: int = 1, cache: CacheBackend | str | Path | None = None
+        self,
+        *,
+        workers: int = 1,
+        cache: CacheBackend | str | Path | None = None,
+        transport: str = "auto",
     ) -> None:
         if not isinstance(workers, int) or workers < 1:
             raise InvalidParameterError(
@@ -687,6 +706,11 @@ class BatchRunner:
                 f"cache must be a path or a CacheBackend, got {cache!r}"
             )
         self.cache = cache
+        if transport not in TRANSPORTS:
+            raise InvalidParameterError(
+                f"transport must be one of {TRANSPORTS}, got {transport!r}"
+            )
+        self.transport = transport
         self.stats = RunnerStats()
 
     def reset_stats(self) -> None:
@@ -796,14 +820,17 @@ class BatchRunner:
             for key, request in pending:
                 yield from deliver(key, evaluate_request(request))
         else:
+            transport = resolve_transport(self.transport)
             pool = ProcessPoolExecutor(max_workers=self.workers)
             try:
                 futures = {
-                    pool.submit(evaluate_request, request): key
+                    pool.submit(evaluate_request_wire, request, transport): key
                     for key, request in pending
                 }
                 for future in as_completed(futures):
-                    yield from deliver(futures[future], future.result())
+                    yield from deliver(
+                        futures[future], decode_wire(future.result())
+                    )
             finally:
                 # Reached on exhaustion, on a worker exception, and on
                 # GeneratorExit when the consumer abandons the stream
@@ -995,6 +1022,7 @@ class BatchRunner:
                         report([position])
                     yield position, record
 
+        transport = resolve_transport(self.transport)
         pool = ProcessPoolExecutor(max_workers=self.workers)
         in_flight: dict[Any, tuple[int, str]] = {}
         drained = False
@@ -1050,7 +1078,9 @@ class BatchRunner:
                                 payload, key=key, cached=True, tag=request.tag
                             )
                         else:
-                            future = pool.submit(evaluate_request, request)
+                            future = pool.submit(
+                                evaluate_request_wire, request, transport
+                            )
                             in_flight[future] = (position, key)
                 if not in_flight:
                     if drained:
@@ -1063,7 +1093,9 @@ class BatchRunner:
                 pairs = []
                 for future in done:
                     position, key = in_flight.pop(future)
-                    pairs.append(fresh(position, key, future.result()))
+                    pairs.append(
+                        fresh(position, key, decode_wire(future.result()))
+                    )
                     completed.add(position)
                 if report is not None:
                     # One done round trip per harvest, not per cell.

@@ -1,0 +1,176 @@
+"""Zero-copy record transport between worker processes and the runner.
+
+A worker pool's default result channel is a pipe: the worker pickles the
+payload, the bytes stream through the ``multiprocessing`` result queue,
+and the parent unpickles them. A run-record payload carries a fully
+serialized schedule — per-job load rows, grid boundaries — so at 10k
+jobs each result is megabytes, and the pipe (one reader thread, byte-
+by-byte framing) becomes the bottleneck long before the algorithms do.
+
+This module moves the payload bytes through POSIX shared memory
+instead: the worker pickles the payload **once** into a fresh
+:class:`multiprocessing.shared_memory.SharedMemory` segment and ships
+only a tiny ``("shm", name, nbytes)`` ticket through the pipe; the
+parent attaches, reads, and unlinks. The payload dict the parent
+decodes is byte-identical to what the pipe would have delivered — the
+transport changes *where the bytes travel*, never what they say — so
+records, cache keys, and cache contents are unchanged (asserted by the
+transport parity tests).
+
+Lifecycle discipline (CPython >= 3.9 registers a segment with the
+``resource_tracker`` on *attach* as well as on create):
+
+* worker: create -> write -> ``close()`` -> explicitly **unregister**
+  (the parent will own the segment from here; without the unregister
+  the worker-side tracker would unlink it at worker exit);
+* parent: attach (re-registers) -> read -> ``close()`` -> ``unlink()``
+  (which unregisters).
+
+Both halves balance their tracker entries, so no "leaked
+shared_memory" warnings and no double-unlink races. If a parent dies
+between ticket and decode the segment leaks until its tracker cleans
+up — the same failure window the pipe has for buffered results.
+
+Platforms without ``/dev/shm`` (or with it mounted too small) fail the
+probe in :func:`shm_available`; every caller then degrades to the
+``("pickle", payload)`` wire, which is the historical pipe behavior
+exactly. The fallback is also taken per-call if a segment allocation
+fails mid-run.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+from ..errors import InvalidParameterError
+
+__all__ = [
+    "TRANSPORTS",
+    "decode_wire",
+    "encode_payload",
+    "evaluate_request_wire",
+    "resolve_transport",
+    "shm_available",
+    "wire_bytes",
+]
+
+#: Wire protocol for the ticket itself and for payload blobs.
+_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+TRANSPORTS = ("auto", "shm", "pickle")
+
+_SHM_PROBE: bool | None = None
+
+
+def _untrack(shm) -> None:
+    """Drop a worker-side resource_tracker registration for ``shm``.
+
+    The parent process takes over ownership of the segment; ``shm._name``
+    is the tracker's registered key (the OS-level name, leading slash
+    included on POSIX).
+    """
+    try:  # pragma: no cover - tracker layout is an implementation detail
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def shm_available() -> bool:
+    """Probe (once) whether shared-memory segments work on this host."""
+    global _SHM_PROBE
+    if _SHM_PROBE is None:
+        try:
+            from multiprocessing.shared_memory import SharedMemory
+
+            shm = SharedMemory(create=True, size=16)
+            shm.buf[:4] = b"ping"
+            shm.close()
+            shm.unlink()
+            _SHM_PROBE = True
+        except Exception:
+            _SHM_PROBE = False
+    return _SHM_PROBE
+
+
+def resolve_transport(transport: str) -> str:
+    """Validate a transport spec and resolve ``"auto"`` to a concrete one."""
+    if transport not in TRANSPORTS:
+        raise InvalidParameterError(
+            f"transport must be one of {TRANSPORTS}, got {transport!r}"
+        )
+    if transport == "auto":
+        return "shm" if shm_available() else "pickle"
+    return transport
+
+
+def encode_payload(payload: dict[str, Any], transport: str) -> tuple:
+    """Encode a result payload as a wire ticket (worker side).
+
+    Returns ``("shm", name, nbytes)`` or ``("pickle", payload)``. The
+    shm path falls back to pickle if segment allocation fails, so a
+    full ``/dev/shm`` degrades a run instead of killing it.
+    """
+    if transport == "shm":
+        try:
+            from multiprocessing.shared_memory import SharedMemory
+
+            blob = pickle.dumps(payload, protocol=_PICKLE_PROTOCOL)
+            shm = SharedMemory(create=True, size=max(1, len(blob)))
+            shm.buf[: len(blob)] = blob
+            name = shm.name
+            shm.close()
+            _untrack(shm)
+            return ("shm", name, len(blob))
+        except pickle.PicklingError:
+            raise
+        except Exception:
+            pass
+    return ("pickle", payload)
+
+
+def decode_wire(wire: tuple) -> dict[str, Any]:
+    """Decode a wire ticket back into the payload dict (parent side).
+
+    Attaching to an shm ticket consumes it: the segment is unlinked
+    whether or not the unpickle succeeds.
+    """
+    kind = wire[0]
+    if kind == "pickle":
+        return wire[1]
+    if kind != "shm":
+        raise InvalidParameterError(f"unknown wire kind {kind!r}")
+    _, name, nbytes = wire
+    from multiprocessing.shared_memory import SharedMemory
+
+    shm = SharedMemory(name=name)
+    try:
+        blob = bytes(shm.buf[:nbytes])
+    finally:
+        shm.close()
+        shm.unlink()
+    return pickle.loads(blob)
+
+
+def wire_bytes(wire: tuple) -> int:
+    """Bytes this ticket pushes through the result pipe.
+
+    What the transport actually saves: an shm ticket is a few dozen
+    bytes regardless of payload size, where the pickle wire carries the
+    entire serialized record.
+    """
+    return len(pickle.dumps(wire, protocol=_PICKLE_PROTOCOL))
+
+
+def evaluate_request_wire(request, transport: str) -> tuple:
+    """Worker entry point: evaluate one cell, return its wire ticket.
+
+    Module-level so pools can unpickle it by name, exactly like
+    :func:`repro.engine.runner.evaluate_request` — which this wraps
+    without touching, so the payload is the identical dict either way.
+    """
+    from .runner import evaluate_request  # lazy: avoid import cycle
+
+    return encode_payload(evaluate_request(request), transport)

@@ -356,9 +356,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help=(
             "scenario to run (repeatable; default: all). Known names "
-            "come from repro.perf.bench.SCENARIOS, e.g. pd-scaling, "
-            "oa-scaling, yds-scaling, grid-refine, cache-micro"
+            "come from repro.perf.bench.SCENARIOS — see --list"
         ),
+    )
+    bch.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_scenarios",
+        help="print every scenario with its full and smoke grids, then exit",
     )
     bch.add_argument(
         "--grid",
@@ -733,6 +738,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         run_scenario,
         write_result,
     )
+
+    if args.list_scenarios:
+        for name in sorted(SCENARIOS):
+            scenario = SCENARIOS[name]
+            print(f"{name}: {scenario.summary}")
+            for grid in ("full", "smoke"):
+                points = scenario.points(grid)
+                rendered = ", ".join(
+                    "{" + ", ".join(f"{k}={v}" for k, v in p.items()) + "}"
+                    for p in points
+                )
+                print(f"  {grid} ({len(points)} points): {rendered}")
+        return 0
 
     names = args.scenario or sorted(SCENARIOS)
     unknown = [name for name in names if name not in SCENARIOS]

@@ -9,15 +9,26 @@ the library needs.
 Instances are immutable; algorithms never mutate them. Jobs are identified
 by their 0-based position in the instance, which by convention is also
 their arrival order after :meth:`Instance.sorted_by_release`.
+
+Storage note: the derived per-job arrays (``releases``, ``deadlines``,
+``workloads``, ``values``) are backed by a :class:`~repro.model.job_arrays.JobArrays`
+columnar view built once per instance and cached — read-only numpy
+columns, not per-access Python loops. Instances built through
+:meth:`Instance.from_arrays` go further: they carry *only* the columns
+and materialize their ``Job`` tuple lazily on first access, which keeps
+million-job instance construction out of the Python object allocator.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .job_arrays import JobArrays
 
 from ..errors import InvalidInstanceError, InvalidJobError, InvalidParameterError
 from ..types import FloatArray, JobId, Time
@@ -133,9 +144,56 @@ class Instance:
         # Validates alpha as a side effect.
         object.__setattr__(self, "_power", PolynomialPower(self.alpha))
 
+    def __getattr__(self, name: str):
+        # Lazy Job materialization for array-backed instances (built via
+        # `from_arrays`, which bypasses __init__ and leaves `jobs` unset).
+        if name == "jobs":
+            arrays = self.__dict__.get("_arrays")
+            if arrays is not None:
+                jobs = arrays.to_jobs()
+                object.__setattr__(self, "jobs", jobs)
+                return jobs
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
+    @classmethod
+    def from_arrays(
+        cls,
+        arrays: "JobArrays",
+        *,
+        m: int = 1,
+        alpha: float = 3.0,
+    ) -> "Instance":
+        """Build an instance directly from columnar job storage.
+
+        No ``Job`` objects are constructed up front — the job tuple
+        materializes lazily on first access (``instance.jobs``,
+        indexing, iteration), while the vectorized paths (derived
+        arrays, :meth:`sorted_by_release`) run straight off the columns.
+        Validation is the vectorized replay of ``Job``'s invariants
+        performed by :class:`~repro.model.job_arrays.JobArrays`.
+        """
+        from .job_arrays import JobArrays
+
+        if not isinstance(arrays, JobArrays):
+            raise InvalidInstanceError(
+                f"from_arrays expects a JobArrays, got {type(arrays).__name__}"
+            )
+        if not isinstance(m, int) or m < 1:
+            raise InvalidParameterError(
+                f"processor count m must be an int >= 1, got {m!r}"
+            )
+        inst = object.__new__(cls)
+        object.__setattr__(inst, "m", m)
+        object.__setattr__(inst, "alpha", alpha)
+        # Validates alpha as a side effect (same as __post_init__).
+        object.__setattr__(inst, "_power", PolynomialPower(alpha))
+        object.__setattr__(inst, "_arrays", arrays)
+        return inst
     @classmethod
     def from_tuples(
         cls,
@@ -169,7 +227,7 @@ class Instance:
     # Basic container behaviour
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self.jobs)
+        return self.n
 
     def __iter__(self) -> Iterator[Job]:
         return iter(self.jobs)
@@ -180,6 +238,9 @@ class Instance:
     @property
     def n(self) -> int:
         """Number of jobs."""
+        arrays = self.__dict__.get("_arrays")
+        if arrays is not None:
+            return arrays.n
         return len(self.jobs)
 
     @property
@@ -188,27 +249,43 @@ class Instance:
         return self._power
 
     # ------------------------------------------------------------------
-    # Derived arrays (computed on demand; instances are small)
+    # Derived arrays (columnar, built once per instance and cached)
     # ------------------------------------------------------------------
     @property
+    def arrays(self) -> "JobArrays":
+        """Columnar (struct-of-array) view of the job set, cached.
+
+        The four read-only float64 columns hold exactly the floats the
+        ``Job`` attributes hold — the arrays the old per-access
+        properties rebuilt on every call, now constructed once.
+        """
+        cached = self.__dict__.get("_arrays")
+        if cached is None:
+            from .job_arrays import JobArrays
+
+            cached = JobArrays.from_jobs(self.jobs)
+            object.__setattr__(self, "_arrays", cached)
+        return cached
+
+    @property
     def releases(self) -> FloatArray:
-        """Array of release times, in job-id order."""
-        return np.array([j.release for j in self.jobs], dtype=np.float64)
+        """Array of release times, in job-id order (read-only)."""
+        return self.arrays.releases
 
     @property
     def deadlines(self) -> FloatArray:
-        """Array of deadlines, in job-id order."""
-        return np.array([j.deadline for j in self.jobs], dtype=np.float64)
+        """Array of deadlines, in job-id order (read-only)."""
+        return self.arrays.deadlines
 
     @property
     def workloads(self) -> FloatArray:
-        """Array of workloads, in job-id order."""
-        return np.array([j.workload for j in self.jobs], dtype=np.float64)
+        """Array of workloads, in job-id order (read-only)."""
+        return self.arrays.workloads
 
     @property
     def values(self) -> FloatArray:
-        """Array of job values, in job-id order."""
-        return np.array([j.value for j in self.jobs], dtype=np.float64)
+        """Array of job values, in job-id order (read-only)."""
+        return self.arrays.values
 
     @property
     def total_value(self) -> float:
@@ -241,18 +318,31 @@ class Instance:
         """A copy whose jobs are ordered by (release, deadline, id).
 
         Online algorithms consume jobs in this order; ties in release time
-        are broken deterministically so runs are reproducible.
+        are broken deterministically so runs are reproducible. Pure
+        array-backed instances stay array-backed: the columns are
+        permuted without materializing any ``Job``.
         """
-        order = sorted(
-            range(self.n), key=lambda i: (self.jobs[i].release, self.jobs[i].deadline, i)
-        )
+        order = self.arrival_order()
+        if "jobs" not in self.__dict__ and "_arrays" in self.__dict__:
+            return Instance.from_arrays(
+                self.arrays.permuted(order), m=self.m, alpha=self.alpha
+            )
         return Instance(tuple(self.jobs[i] for i in order), m=self.m, alpha=self.alpha)
 
     def arrival_order(self) -> list[JobId]:
-        """Job ids sorted by (release, deadline, id) without copying jobs."""
-        return sorted(
-            range(self.n), key=lambda i: (self.jobs[i].release, self.jobs[i].deadline, i)
+        """Job ids sorted by (release, deadline, id) without copying jobs.
+
+        Computed as a stable ``lexsort`` over the cached columns — the
+        identical permutation to sorting ``(release, deadline, id)``
+        tuples (the trailing id key makes the order total, so stability
+        and tie-breaking agree bit for bit with the historical
+        ``sorted()`` call).
+        """
+        arrays = self.arrays
+        order = np.lexsort(
+            (np.arange(arrays.n), arrays.deadlines, arrays.releases)
         )
+        return [int(i) for i in order]
 
     def restrict(self, job_ids: Sequence[JobId]) -> "Instance":
         """Sub-instance containing only ``job_ids`` (in the given order)."""

@@ -1,0 +1,160 @@
+"""Struct-of-array (columnar) storage for job sets.
+
+An :class:`Instance` keeps :class:`~repro.model.job.Job` objects as its
+API surface, but whole-instance operations — availability matrices,
+feasibility scans, certificate sums, workload generation — want the four
+job attributes as contiguous numpy columns, not attribute walks over n
+Python objects. :class:`JobArrays` is that columnar view: four read-only
+``float64`` arrays (release, deadline, workload, value) validated once
+with exactly the per-job invariants :class:`Job` enforces.
+
+Two directions of travel, both exact:
+
+* :meth:`JobArrays.from_jobs` columnarizes an existing job tuple — the
+  same ``np.array([j.release for j in jobs])`` construction the old
+  per-access properties performed, now done once and cached.
+* :meth:`JobArrays.to_jobs` materializes ``Job`` objects back from the
+  columns. Round-tripping is bit-exact (the arrays store the very same
+  floats the ``Job`` attributes hold), which the property suite asserts;
+  only the optional ``name`` label is outside the columnar view.
+
+``Instance.from_arrays`` builds instances directly from a
+:class:`JobArrays` without constructing any ``Job`` objects up front —
+jobs materialize lazily on first attribute access — which is what makes
+million-job instance construction cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import InvalidJobError
+from ..types import FloatArray
+from .job import Job
+
+__all__ = ["JobArrays"]
+
+_COLUMNS = ("releases", "deadlines", "workloads", "values")
+
+
+def _frozen_column(name: str, data) -> FloatArray:
+    try:
+        arr = np.array(data, dtype=np.float64, order="C", copy=True)
+    except (TypeError, ValueError) as exc:
+        raise InvalidJobError(
+            f"job {name} column is not numeric: {exc}"
+        ) from exc
+    if arr.ndim != 1:
+        raise InvalidJobError(
+            f"job {name} column must be 1-D, got shape {arr.shape}"
+        )
+    arr.flags.writeable = False
+    return arr
+
+
+@dataclass(frozen=True, eq=False)
+class JobArrays:
+    """Columnar view of a job set: four aligned read-only float64 arrays.
+
+    Index ``i`` across all four arrays describes job ``i`` — the same
+    0-based ids an :class:`~repro.model.job.Instance` uses. The arrays
+    are private copies with ``writeable=False``, so they can be shared
+    (and cached on instances) without aliasing hazards.
+    """
+
+    releases: FloatArray
+    deadlines: FloatArray
+    workloads: FloatArray
+    values: FloatArray
+
+    def __post_init__(self) -> None:
+        for name in _COLUMNS:
+            object.__setattr__(self, name, _frozen_column(name, getattr(self, name)))
+        n = self.releases.size
+        for name in _COLUMNS[1:]:
+            if getattr(self, name).size != n:
+                raise InvalidJobError(
+                    f"job column lengths differ: {n} releases vs "
+                    f"{getattr(self, name).size} {name}"
+                )
+        self._validate()
+
+    def _validate(self) -> None:
+        """Vectorized replay of ``Job.__post_init__``'s invariants.
+
+        On failure, the offending job is rebuilt through the ``Job``
+        constructor so the error raised (type *and* message) is exactly
+        the one the per-object path produces.
+        """
+        bad = ~(
+            np.isfinite(self.releases)
+            & np.isfinite(self.deadlines)
+            & np.isfinite(self.workloads)
+            & np.isfinite(self.values)
+            & (self.releases >= 0.0)
+            & (self.deadlines > self.releases)
+            & (self.workloads > 0.0)
+            & (self.values >= 0.0)
+        )
+        if bad.any():
+            i = int(np.nonzero(bad)[0][0])
+            self.job(i)  # raises InvalidJobError with the canonical message
+            raise InvalidJobError(  # pragma: no cover - mask/Job disagreement
+                f"job {i} failed columnar validation"
+            )
+
+    # ------------------------------------------------------------------
+    # Size / access
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return int(self.releases.size)
+
+    def __len__(self) -> int:
+        return self.n
+
+    def job(self, i: int) -> Job:
+        """Materialize job ``i`` (no ``name``; labels live on ``Job``)."""
+        return Job(
+            release=float(self.releases[i]),
+            deadline=float(self.deadlines[i]),
+            workload=float(self.workloads[i]),
+            value=float(self.values[i]),
+        )
+
+    def to_jobs(self) -> tuple[Job, ...]:
+        """Materialize the full job tuple (bit-exact round trip)."""
+        return tuple(
+            Job(release=r, deadline=d, workload=w, value=v)
+            for r, d, w, v in zip(
+                self.releases.tolist(),
+                self.deadlines.tolist(),
+                self.workloads.tolist(),
+                self.values.tolist(),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Construction / transformation
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_jobs(cls, jobs) -> "JobArrays":
+        """Columnarize a sequence of :class:`Job` objects."""
+        return cls(
+            releases=np.array([j.release for j in jobs], dtype=np.float64),
+            deadlines=np.array([j.deadline for j in jobs], dtype=np.float64),
+            workloads=np.array([j.workload for j in jobs], dtype=np.float64),
+            values=np.array([j.value for j in jobs], dtype=np.float64),
+        )
+
+    def permuted(self, order) -> "JobArrays":
+        """Columns reordered by ``order`` (an index array/list)."""
+        idx = np.asarray(order, dtype=np.intp)
+        return JobArrays(
+            releases=self.releases[idx],
+            deadlines=self.deadlines[idx],
+            workloads=self.workloads[idx],
+            values=self.values[idx],
+        )

@@ -126,44 +126,22 @@ class Schedule:
     # ------------------------------------------------------------------
     @cached_property
     def energy(self) -> float:
-        """Total energy: sum of per-interval ``P_k`` values."""
-        from ..chen.interval_power import interval_energy  # lazy: layering
-        from ..chen.partition import _LOAD_EPS as _PART_EPS  # shared tol
+        """Total energy: sum of per-interval ``P_k`` values.
 
-        lengths = self.grid.lengths
-        power = self.instance.power
-        m = self.instance.m
-        # Contiguous per-interval rows: column views of the C-order
-        # (n, N) matrix stride by N floats, which makes every one of the
-        # N column sums a cache-miss walk. One transposed copy turns
-        # them into sequential reads. numpy's pairwise summation tree
-        # depends on element count only, so the sums keep their bits.
-        cols = np.ascontiguousarray(self.loads.T)
-        total = 0.0
-        for k in range(self.grid.size):
-            col = cols[k]
-            if float(col.sum()) <= _LOAD_EPS:
-                continue
-            # Equation (6) on the nonzero loads only. Exact zeros sort
-            # to the tail and contribute exact +0.0 suffix terms, so
-            # dropping them changes no bit of the result while the
-            # dedication scan stops sorting O(n) zeros per interval.
-            active = col[col != 0.0]
-            length = float(lengths[k])
-            if active.size == 1:
-                # Single-job column (the common case on large sparse
-                # schedules): the dedication scan dedicates the job iff
-                # its load clears the zero tolerance, and the pool is
-                # empty either way — same float ops as the full path,
-                # without the partition machinery.
-                if float(active[0]) > _PART_EPS:
-                    total += (
-                        float(np.sum(power.power_array(active / length)))
-                        * length
-                    )
-                continue
-            total += interval_energy(active, m, length, power)
-        return total
+        Evaluated by the batched all-columns kernel
+        (:func:`repro.perf.energy.schedule_energy`), bit-identical to
+        the historical per-column loop — which is retained as
+        :func:`repro.perf.reference.schedule_energy_reference` and
+        differentially tested against this path.
+        """
+        from ..perf.energy import schedule_energy  # lazy: layering
+
+        return schedule_energy(
+            self.loads,
+            self.grid.lengths,
+            self.instance.m,
+            self.instance.power,
+        )
 
     @cached_property
     def lost_value(self) -> float:

@@ -7,9 +7,13 @@ simulation paths scale without changing a single bit of their output:
   (:class:`~repro.perf.kernels.IntervalLoads`) and the batched window
   evaluator (:class:`~repro.perf.kernels.WindowKernel`) the primal-dual
   water-filling prices jobs against;
+* :mod:`repro.perf.energy` — batched multi-interval energy evaluation
+  (:func:`~repro.perf.energy.schedule_energy` over dense load matrices,
+  :func:`~repro.perf.energy.stores_energy` over streaming
+  ``IntervalLoads``), one vectorized pass instead of a per-column loop;
 * :mod:`repro.perf.reference` — the historical straight-line
-  implementations (dense-matrix PD), kept verbatim for differential
-  ("bit parity") testing against the kernels;
+  implementations (dense-matrix PD, per-column energy), kept verbatim
+  for differential ("bit parity") testing against the kernels;
 * :mod:`repro.perf.bench` — named perf scenarios, the machine-readable
   ``BENCH_<scenario>.json`` emitter, and the baseline-comparison gate
   behind ``python -m repro bench``.
@@ -19,6 +23,12 @@ schedules, same costs, same certificates, same cache keys. Speed is an
 execution strategy here, never a result change.
 """
 
+from .energy import schedule_energy, stores_energy
 from .kernels import IntervalLoads, WindowKernel
 
-__all__ = ["IntervalLoads", "WindowKernel"]
+__all__ = [
+    "IntervalLoads",
+    "WindowKernel",
+    "schedule_energy",
+    "stores_energy",
+]

@@ -46,7 +46,9 @@ __all__ = [
 ]
 
 #: Fields that are measurements, not point identity.
-_MEASURE_KEYS = frozenset({"wall_time", "run_time", "certify_time", "cost"})
+_MEASURE_KEYS = frozenset(
+    {"wall_time", "run_time", "certify_time", "cost", "bytes_per_record"}
+)
 
 
 @dataclass(frozen=True)
@@ -182,6 +184,111 @@ def _cache_point(point: Mapping[str, Any]) -> dict:
     return {"n": ops, "m": 1, "backend": backend, "wall_time": wall}
 
 
+def _pd_stream_point(point: Mapping[str, Any]) -> dict:
+    """PD at 100k–1M jobs: SoA generation, streaming cost, no finish().
+
+    The dense ``(n, N)`` schedule matrix a ``finish()`` would build is
+    tens of gigabytes at a million jobs — this point exercises exactly
+    the path that avoids it: columnar ``slotted`` generation, lazy
+    per-arrival ``Job`` materialization, and
+    :meth:`PDScheduler.streaming_cost` off the live stores.
+    """
+    from ..core.pd import PDScheduler
+    from ..workloads import slotted_instance
+
+    n, m = int(point["n"]), int(point["m"])
+    instance = slotted_instance(n, slots=1000, m=m, alpha=3.0, seed=0)
+    arrays = instance.sorted_by_release().arrays
+
+    def exercise() -> float:
+        sched = PDScheduler(m=m, alpha=3.0)
+        for i in range(arrays.n):
+            sched.arrive(arrays.job(i))
+        return sched.streaming_cost()
+
+    wall, cost = _timed(exercise)
+    return {"n": n, "m": m, "wall_time": wall, "cost": float(cost)}
+
+
+def _oa_stream_point(point: Mapping[str, Any]) -> dict:
+    """Incremental OA at 100k jobs: lazy-prefix replans, no dense schedule."""
+    from ..classical.oa import oa_segments
+    from ..model.power import PolynomialPower
+    from ..workloads import slotted_instance
+
+    n = int(point["n"])
+    instance = slotted_instance(n, slots=2000, m=1, alpha=3.0, seed=0)
+    wall, out = _timed(lambda: oa_segments(instance))
+    _, executed = out
+    power = PolynomialPower(3.0)
+    energy = sum(
+        (hi - lo) * power(speed) for _, lo, hi, speed in executed
+    )
+    return {"n": n, "m": 1, "wall_time": wall, "cost": float(energy)}
+
+
+#: One evaluated record payload per size, shared across the repeat
+#: measurements of a transport point (the payload is identical every
+#: evaluation; rebuilding it would time PD, not the transport).
+_TRANSPORT_PAYLOADS: dict[int, dict] = {}
+
+
+def _transport_point(point: Mapping[str, Any]) -> dict:
+    """Record transport round trip: wire encode + decode, bytes and time.
+
+    ``bytes_per_record`` is what actually crosses the pool's result
+    pipe: the full pickled payload for the ``pickle`` transport, a
+    constant-size ticket for ``shm`` (the payload bytes travel through
+    a shared-memory segment instead).
+    """
+    import pickle
+
+    from ..engine import transport as tr
+    from ..engine.runner import RunRequest, evaluate_request
+    from ..workloads import slotted_instance
+
+    n = int(point["n"])
+    mode = str(point["transport"])
+    # Enough rounds that the point takes ~1s: a 0.1s point is pure
+    # scheduler noise when the smoke grid runs it right after a 13s
+    # PD scenario, and the 2x gate then flakes.
+    rounds = 25
+    payload = _TRANSPORT_PAYLOADS.get(n)
+    if payload is None:
+        instance = slotted_instance(n, slots=400, m=4, alpha=3.0, seed=0)
+        payload = evaluate_request(RunRequest("pd", instance))
+        _TRANSPORT_PAYLOADS[n] = payload
+
+    def exercise() -> dict:
+        out = payload
+        for _ in range(rounds):
+            # The pool's result queue pickles whatever wire it carries —
+            # simulate that hop so the pickle wire doesn't measure as an
+            # in-process no-op.
+            wire = tr.encode_payload(payload, mode)
+            piped = pickle.loads(
+                pickle.dumps(wire, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+            out = tr.decode_wire(piped)
+        return out
+
+    wall, out = _timed(exercise)
+    if out["cost"] != payload["cost"]:  # pragma: no cover - parity guard
+        raise AssertionError("transport round trip altered the record")
+    wire = tr.encode_payload(payload, mode)
+    nbytes = tr.wire_bytes(wire)
+    if wire[0] == "shm":
+        tr.decode_wire(wire)  # attach-and-unlink releases the segment
+    return {
+        "n": n,
+        "m": 4,
+        "transport": mode,
+        "rounds": rounds,
+        "wall_time": wall,
+        "bytes_per_record": nbytes,
+    }
+
+
 def _points(**axes: Iterable) -> tuple[dict, ...]:
     """Cartesian grid helper: ``_points(n=[1,2], m=[1])``."""
     out: list[dict] = [{}]
@@ -227,6 +334,27 @@ SCENARIOS: dict[str, BenchScenario] = {
             full=_points(n=[300], backend=["dir", "sqlite", "memory"]),
             smoke=_points(n=[300], backend=["dir", "sqlite", "memory"]),
             run_point=_cache_point,
+        ),
+        BenchScenario(
+            name="pd-1m",
+            summary="PD at 100k-1M jobs: SoA instances + streaming cost",
+            full=_points(n=[100_000, 1_000_000], m=[4]),
+            smoke=_points(n=[100_000], m=[4]),
+            run_point=_pd_stream_point,
+        ),
+        BenchScenario(
+            name="oa-100k",
+            summary="incremental OA at 100k jobs (lazy-prefix replans)",
+            full=_points(n=[25_000, 100_000]),
+            smoke=_points(n=[100_000]),
+            run_point=_oa_stream_point,
+        ),
+        BenchScenario(
+            name="transport-micro",
+            summary="micro: record wire round trip, pickle vs shared memory",
+            full=_points(n=[10_000], transport=["pickle", "shm"]),
+            smoke=_points(n=[10_000], transport=["pickle", "shm"]),
+            run_point=_transport_point,
         ),
     )
 }

@@ -25,7 +25,43 @@ from ..model.job import Instance, Job
 from ..model.schedule import Schedule
 from ..types import FloatArray
 
-__all__ = ["PDSchedulerReference", "run_pd_reference"]
+__all__ = [
+    "PDSchedulerReference",
+    "run_pd_reference",
+    "schedule_energy_reference",
+]
+
+
+def schedule_energy_reference(schedule: Schedule) -> float:
+    """The historical per-column ``Schedule.energy`` loop, verbatim.
+
+    Replaced by the batched all-columns kernel
+    (:func:`repro.perf.energy.schedule_energy`); kept for differential
+    testing of that kernel.
+    """
+    from ..chen.interval_power import interval_energy
+    from ..chen.partition import _LOAD_EPS as _part_eps
+    from ..model.schedule import _LOAD_EPS as _load_eps
+
+    lengths = schedule.grid.lengths
+    power = schedule.instance.power
+    m = schedule.instance.m
+    cols = np.ascontiguousarray(schedule.loads.T)
+    total = 0.0
+    for k in range(schedule.grid.size):
+        col = cols[k]
+        if float(col.sum()) <= _load_eps:
+            continue
+        active = col[col != 0.0]
+        length = float(lengths[k])
+        if active.size == 1:
+            if float(active[0]) > _part_eps:
+                total += (
+                    float(np.sum(power.power_array(active / length))) * length
+                )
+            continue
+        total += interval_energy(active, m, length, power)
+    return total
 
 
 class PDSchedulerReference:

@@ -34,6 +34,7 @@ from .structured import (
     batch_instance,
     bursty_instance,
     laminar_instance,
+    slotted_instance,
     tight_instance,
 )
 from . import perturb as _perturb  # noqa: F401 - registers the jitter family
@@ -70,4 +71,5 @@ __all__ = [
     "batch_instance",
     "tight_instance",
     "bursty_instance",
+    "slotted_instance",
 ]

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..errors import InvalidParameterError
 from ..model.job import Instance, Job
+from ..model.job_arrays import JobArrays
 from ..model.power import optimal_constant_speed_energy
 from ..types import Seed
 from .registry import register_workload
@@ -31,6 +32,7 @@ __all__ = [
     "batch_instance",
     "tight_instance",
     "bursty_instance",
+    "slotted_instance",
 ]
 
 
@@ -236,3 +238,54 @@ def _laminar_family(n, *, branching=2, m=1, alpha=3.0, seed=0):
     uniform contract "about n jobs" holds."""
     depth = max(1, (n + 1).bit_length() - 1)
     return laminar_instance(depth, branching=branching, m=m, alpha=alpha, seed=seed)
+
+
+@register_workload(
+    "slotted",
+    summary="slotted request stream: releases on a bounded slot grid, "
+    "built columnar (the large-n fast path)",
+    params={"slots": int, "span_max": int},
+)
+def slotted_instance(
+    n: int,
+    *,
+    slots: int = 400,
+    span_max: int = 6,
+    m: int = 1,
+    alpha: float = 3.0,
+    value_ratio: tuple[float, float] = (0.05, 8.0),
+    seed: Seed = None,
+) -> Instance:
+    """A slotted request stream: ``n`` jobs over ``slots`` time slots.
+
+    Releases snap to slot boundaries and windows span 1 to ``span_max``
+    slots, so the number of distinct event times — and with it the
+    atomic-interval grid every algorithm works on — is bounded by the
+    slot count, not the job count. This is the shape of a datacenter
+    request stream batched per scheduling quantum, and the instance
+    family the large-scale benches (100k–1M jobs) sweep.
+
+    Unlike the other families, generation is fully vectorized into a
+    :class:`~repro.model.job_arrays.JobArrays` column block and the
+    instance is built with :meth:`Instance.from_arrays` — no per-job
+    ``Job`` objects exist until something asks for them, which is what
+    keeps million-job construction at milliseconds.
+    """
+    if n < 1:
+        raise InvalidParameterError(f"need n >= 1, got {n}")
+    if slots < 1:
+        raise InvalidParameterError(f"need slots >= 1, got {slots}")
+    if span_max < 1:
+        raise InvalidParameterError(f"need span_max >= 1, got {span_max}")
+    rng = _rng(seed)
+    releases = np.sort(rng.integers(0, slots, size=n)).astype(np.float64)
+    spans = rng.integers(1, span_max + 1, size=n).astype(np.float64)
+    workloads = rng.exponential(1.0, size=n) + 1e-3
+    values = rng.uniform(*value_ratio, size=n) * workloads
+    arrays = JobArrays(
+        releases=releases,
+        deadlines=releases + spans,
+        workloads=workloads,
+        values=values,
+    )
+    return Instance.from_arrays(arrays, m=m, alpha=alpha)

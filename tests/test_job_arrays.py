@@ -1,0 +1,242 @@
+"""Struct-of-array instance storage: round trips and algorithm parity.
+
+``JobArrays`` is a columnar view of an instance's jobs; ``Instance``
+can be built from it lazily (``from_arrays``) with ``Job`` objects
+materialized only on demand. The contract is absolute: the columnar
+path must be indistinguishable from the historical tuple-of-``Job``
+path — exact float round trips, identical validation errors, and
+byte-identical schedule payloads and cache keys from every algorithm.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidJobError, InvalidParameterError
+from repro.io.serialize import schedule_to_dict, stable_hash
+from repro.model.job import Instance, Job
+from repro.model.job_arrays import JobArrays
+from repro.workloads import slotted_instance
+
+
+def random_jobs(n: int, seed: int = 0) -> tuple[Job, ...]:
+    rng = np.random.default_rng(seed)
+    jobs = []
+    for i in range(n):
+        r = float(rng.uniform(0.0, 50.0))
+        jobs.append(
+            Job(
+                release=r,
+                deadline=r + float(rng.uniform(0.5, 8.0)),
+                workload=float(rng.exponential(1.0) + 1e-3),
+                value=float(rng.uniform(0.0, 9.0)),
+                name=f"j{i}" if i % 3 == 0 else None,
+            )
+        )
+    return tuple(jobs)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("n", [1, 2, 17, 300])
+    def test_jobs_to_arrays_to_jobs_exact(self, n):
+        jobs = random_jobs(n, seed=n)
+        arrays = JobArrays.from_jobs(jobs)
+        back = arrays.to_jobs()
+        assert len(back) == n
+        for original, rebuilt in zip(jobs, back):
+            # exact float equality, not approx — the columns must hold
+            # the very same doubles the Job objects did
+            assert rebuilt.release == original.release
+            assert rebuilt.deadline == original.deadline
+            assert rebuilt.workload == original.workload
+            assert rebuilt.value == original.value
+
+    def test_single_job_accessor_matches(self):
+        jobs = random_jobs(9, seed=3)
+        arrays = JobArrays.from_jobs(jobs)
+        for i, job in enumerate(jobs):
+            one = arrays.job(i)
+            assert (one.release, one.deadline, one.workload, one.value) == (
+                job.release,
+                job.deadline,
+                job.workload,
+                job.value,
+            )
+
+    def test_columns_are_frozen(self):
+        arrays = JobArrays.from_jobs(random_jobs(4))
+        for column in (
+            arrays.releases,
+            arrays.deadlines,
+            arrays.workloads,
+            arrays.values,
+        ):
+            assert not column.flags.writeable
+            with pytest.raises(ValueError):
+                column[0] = 99.0
+
+    def test_instance_from_arrays_equals_eager(self):
+        jobs = random_jobs(40, seed=7)
+        eager = Instance(jobs, m=2, alpha=2.5)
+        lazy = Instance.from_arrays(
+            JobArrays.from_jobs(jobs), m=2, alpha=2.5
+        )
+        assert lazy.n == eager.n and len(lazy) == len(eager)
+        assert np.array_equal(lazy.releases, eager.releases)
+        assert np.array_equal(lazy.deadlines, eager.deadlines)
+        assert np.array_equal(lazy.workloads, eager.workloads)
+        assert np.array_equal(lazy.values, eager.values)
+        assert lazy.arrival_order() == eager.arrival_order()
+        # jobs materialize on demand and carry the same floats
+        for a, b in zip(lazy.jobs, eager.jobs):
+            assert (a.release, a.deadline, a.workload, a.value) == (
+                b.release,
+                b.deadline,
+                b.workload,
+                b.value,
+            )
+
+    def test_sorted_by_release_stays_columnar(self):
+        inst = slotted_instance(200, slots=20, m=1, alpha=3.0, seed=5)
+        assert "jobs" not in inst.__dict__
+        ordered = inst.sorted_by_release()
+        assert "jobs" not in ordered.__dict__  # still lazy after the sort
+        eager = Instance(tuple(inst.jobs), m=1, alpha=3.0).sorted_by_release()
+        assert np.array_equal(ordered.releases, eager.releases)
+        assert np.array_equal(ordered.workloads, eager.workloads)
+
+    def test_lazy_instance_pickles(self):
+        inst = slotted_instance(50, slots=10, m=2, alpha=3.0, seed=1)
+        clone = pickle.loads(pickle.dumps(inst))
+        assert clone.n == inst.n
+        assert np.array_equal(clone.workloads, inst.workloads)
+
+    def test_permuted_reorders_all_columns(self):
+        arrays = JobArrays.from_jobs(random_jobs(6, seed=2))
+        order = [5, 3, 1, 0, 2, 4]
+        moved = arrays.permuted(order)
+        assert np.array_equal(moved.releases, arrays.releases[order])
+        assert np.array_equal(moved.values, arrays.values[order])
+
+
+class TestValidation:
+    """Bad columns raise the canonical per-job errors, not numpy noise."""
+
+    def _cols(self, **overrides):
+        base = dict(
+            releases=[0.0, 1.0],
+            deadlines=[2.0, 3.0],
+            workloads=[1.0, 1.0],
+            values=[1.0, 1.0],
+        )
+        base.update(overrides)
+        return base
+
+    def test_accepts_clean_columns(self):
+        arrays = JobArrays(**self._cols())
+        assert arrays.n == 2
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"releases": [0.0, float("nan")]},
+            {"deadlines": [2.0, float("inf")]},
+            {"releases": [-1.0, 1.0]},
+            {"deadlines": [0.0, 3.0]},  # deadline == release
+            {"workloads": [1.0, 0.0]},
+            {"workloads": [1.0, -2.0]},
+            {"values": [1.0, -0.5]},
+        ],
+    )
+    def test_rejects_like_job_constructor(self, overrides):
+        with pytest.raises(InvalidJobError):
+            JobArrays(**self._cols(**overrides))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(InvalidJobError):
+            JobArrays(**self._cols(values=[1.0, 1.0, 1.0]))
+
+    def test_rejects_non_1d(self):
+        with pytest.raises(InvalidJobError):
+            JobArrays(**self._cols(releases=[[0.0, 1.0]]))
+
+    def test_from_arrays_validates_m_and_type(self):
+        from repro.errors import InvalidInstanceError
+
+        arrays = JobArrays(**self._cols())
+        with pytest.raises(InvalidParameterError):
+            Instance.from_arrays(arrays, m=0)
+        with pytest.raises(InvalidInstanceError):
+            Instance.from_arrays([(0.0, 1.0, 1.0, 1.0)])  # not a JobArrays
+
+
+class TestAlgorithmParity:
+    """SoA-backed instances produce byte-identical records.
+
+    The acceptance bar from the issue: PD/OA/YDS schedule payload
+    hashes and engine cache keys must match the eager ``Job``-tuple
+    path exactly at n in {1, 2, 200, 5000}.
+    """
+
+    SIZES = [1, 2, 200, 5000]
+
+    def _pair(self, n: int, m: int = 1):
+        lazy = slotted_instance(
+            n, slots=max(4, n // 50), m=m, alpha=3.0, seed=n
+        )
+        eager = Instance(tuple(lazy.jobs), m=m, alpha=3.0)
+        # fresh lazy copy so no cached state leaks across the pair
+        fresh = slotted_instance(
+            n, slots=max(4, n // 50), m=m, alpha=3.0, seed=n
+        )
+        assert "jobs" not in fresh.__dict__
+        return fresh, eager
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_cache_keys_identical(self, n):
+        from repro.engine.runner import request_key
+
+        lazy, eager = self._pair(n)
+        for algorithm in ("pd", "oa", "yds"):
+            assert request_key(algorithm, lazy) == request_key(
+                algorithm, eager
+            )
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_pd_payload_hashes_identical(self, n):
+        from repro.core.pd import run_pd
+
+        lazy, eager = self._pair(n, m=2)
+        a = run_pd(lazy)
+        b = run_pd(eager)
+        assert np.array_equal(a.schedule.loads, b.schedule.loads)
+        assert stable_hash(schedule_to_dict(a.schedule)) == stable_hash(
+            schedule_to_dict(b.schedule)
+        )
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_oa_payload_hashes_identical(self, n):
+        from repro.classical.oa import run_oa
+
+        lazy, eager = self._pair(n)
+        a = run_oa(lazy)
+        b = run_oa(eager)
+        assert a.segments == b.segments
+        assert stable_hash(schedule_to_dict(a.schedule)) == stable_hash(
+            schedule_to_dict(b.schedule)
+        )
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_yds_payload_hashes_identical(self, n):
+        from repro.classical.yds import yds
+
+        lazy, eager = self._pair(n)
+        a = yds(lazy)
+        b = yds(eager)
+        assert a.groups == b.groups
+        assert stable_hash(schedule_to_dict(a.schedule)) == stable_hash(
+            schedule_to_dict(b.schedule)
+        )

@@ -326,8 +326,10 @@ class TestYdsOaParity:
 
     @pytest.mark.parametrize("seed", range(3))
     def test_oa_on_reference_plans_is_unchanged(self, seed, monkeypatch):
-        """OA replans through YDS; pinning its plans to the reference
-        scan must not change a single executed segment."""
+        """Three layers of OA parity at once: the incremental lazy-prefix
+        replanner (default) vs the historical from-scratch replan, with
+        the latter's YDS plans additionally pinned to the reference
+        scan. Not one executed segment may differ across the stack."""
         import repro.classical.oa as oa_module
 
         inst = self.classical(24, seed)
@@ -336,10 +338,111 @@ class TestYdsOaParity:
         monkeypatch.setattr(
             oa_module, "yds", lambda sub: original(sub, scan="reference")
         )
-        slow = run_oa(inst)
+        slow = run_oa(inst, replan="reference")
         assert fast.segments == slow.segments
         assert np.array_equal(fast.schedule.loads, slow.schedule.loads)
         assert fast.energy == slow.energy
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize(
+        "family", [poisson_instance, uniform_instance, heavy_tail_instance]
+    )
+    def test_oa_incremental_replan_equals_reference(self, seed, family):
+        """The incremental OA replanner (lazy YDS prefix per epoch) must
+        reproduce the from-scratch replan bit for bit on every existing
+        differential case."""
+        from repro.classical.oa import oa_segments
+
+        inst = self.classical(18, seed, family)
+        ordered_inc, exec_inc = oa_segments(inst, replan="incremental")
+        ordered_ref, exec_ref = oa_segments(inst, replan="reference")
+        assert exec_inc == exec_ref
+        fast = run_oa(inst)
+        slow = run_oa(inst, replan="reference")
+        assert fast.segments == slow.segments
+        assert np.array_equal(fast.schedule.loads, slow.schedule.loads)
+        assert fast.schedule.grid.same_as(slow.schedule.grid)
+        assert fast.energy == slow.energy
+        assert stable_hash(schedule_to_dict(fast.schedule)) == stable_hash(
+            schedule_to_dict(slow.schedule)
+        )
+
+    def test_oa_incremental_slotted_ties(self):
+        """Slotted instances maximize release ties and epoch reuse — the
+        shape the incremental replanner is built for."""
+        from repro.classical.oa import oa_segments
+        from repro.workloads import slotted_instance
+
+        inst = slotted_instance(300, slots=60, m=1, alpha=3.0, seed=3)
+        _, exec_inc = oa_segments(inst, replan="incremental")
+        _, exec_ref = oa_segments(inst, replan="reference")
+        assert exec_inc == exec_ref
+
+    def test_oa_rejects_unknown_replan(self):
+        inst = self.classical(4, 0)
+        with pytest.raises(Exception, match="replan"):
+            run_oa(inst, replan="turbo")
+
+
+class TestBatchedEnergyParity:
+    """The all-columns energy kernel vs the retained per-column loop."""
+
+    def _pd_schedules(self):
+        for family, n, m in FAMILIES:
+            for alpha in (2.0, 3.0):
+                inst = family(n, m=m, alpha=alpha, seed=9)
+                yield run_pd(inst).schedule
+
+    def test_pd_schedules_bitwise_identical(self):
+        from repro.perf.reference import schedule_energy_reference
+
+        for schedule in self._pd_schedules():
+            assert schedule.energy == schedule_energy_reference(schedule)
+
+    def test_classical_schedules_bitwise_identical(self):
+        from repro.perf.reference import schedule_energy_reference
+
+        for n, seed in ((24, 0), (50, 1), (80, 2)):
+            inst = Instance.classical(
+                [
+                    (j.release, j.deadline, j.workload)
+                    for j in poisson_instance(n, m=1, alpha=3.0, seed=seed).jobs
+                ],
+                m=1,
+                alpha=3.0,
+            )
+            for schedule in (run_oa(inst).schedule, yds(inst).schedule):
+                assert schedule.energy == schedule_energy_reference(schedule)
+
+    def test_degenerate_and_empty_columns(self):
+        from repro.perf.energy import schedule_energy
+        from repro.perf.reference import schedule_energy_reference
+
+        sched = run_pd(degenerate_single_interval()).schedule
+        assert sched.energy == schedule_energy_reference(sched)
+        # all-zero matrix: exactly 0.0 either way
+        empty = np.zeros((3, 4))
+        assert (
+            schedule_energy(empty, np.ones(4), 2, sched.instance.power) == 0.0
+        )
+
+    def test_streaming_stores_match_dense_finish(self):
+        """PDScheduler.streaming_* off the live stores == the dense
+        Schedule's cached properties, bit for bit."""
+        from repro.core.pd import PDScheduler
+
+        for family, n, m in FAMILIES:
+            inst = family(n, m=m, alpha=3.0, seed=4)
+            sched = PDScheduler(m=m, alpha=3.0)
+            for job in inst.sorted_by_release().jobs:
+                sched.arrive(job)
+            energy = sched.streaming_energy()
+            lost = sched.streaming_lost_value()
+            cost = sched.streaming_cost()
+            result = sched.finish()
+            assert energy == result.schedule.energy
+            assert lost == result.schedule.lost_value
+            assert cost == result.schedule.cost
 
 
 class TestCertificateHelpersParity:

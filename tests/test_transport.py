@@ -1,0 +1,178 @@
+"""Zero-copy record transport: wire round trips and runner parity.
+
+The transport moves result payloads through shared memory instead of
+the pool's result pipe. It must be invisible: identical records (and
+identical cache contents) whatever wire carried them, with a graceful
+per-call fallback to the pickle wire when shared memory is missing.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+import pytest
+
+from repro.engine import transport as tr
+from repro.engine.runner import BatchRunner, RunRequest, record_to_payload
+from repro.errors import InvalidParameterError
+from repro.workloads import poisson_instance
+
+PAYLOAD = {
+    "kind": "run-record",
+    "algorithm": "pd",
+    "cost": 12.5,
+    "schedule": {"loads": [[0, 1, 0.25]] * 200, "boundaries": [0.0, 1.0]},
+    "wall_time": 0.01,
+}
+
+
+def canonical(payload: dict) -> dict:
+    """Record payload with measured/provenance fields normalized.
+
+    ``wall_time`` is a measurement, ``cached`` is delivery provenance
+    (a hit of the same bytes), and NaN compares unequal to itself —
+    none of them is record content.
+    """
+    out = dict(payload)
+    out.pop("wall_time", None)
+    out.pop("cached", None)
+    for key in ("certified_ratio", "dual_g"):
+        if isinstance(out.get(key), float) and math.isnan(out[key]):
+            out[key] = "NaN"
+    return out
+
+
+class TestWire:
+    def test_pickle_wire_round_trip(self):
+        wire = tr.encode_payload(PAYLOAD, "pickle")
+        assert wire[0] == "pickle"
+        assert tr.decode_wire(wire) == PAYLOAD
+
+    @pytest.mark.skipif(
+        not tr.shm_available(), reason="no shared memory on this host"
+    )
+    def test_shm_wire_round_trip(self):
+        wire = tr.encode_payload(PAYLOAD, "shm")
+        assert wire[0] == "shm"
+        assert tr.decode_wire(wire) == PAYLOAD
+
+    @pytest.mark.skipif(
+        not tr.shm_available(), reason="no shared memory on this host"
+    )
+    def test_shm_ticket_is_constant_size(self):
+        """The pipe footprint of an shm ticket must not scale with the
+        payload — that's the entire point of the transport."""
+        small = tr.encode_payload({"cost": 1.0}, "shm")
+        big = tr.encode_payload(PAYLOAD, "shm")
+        try:
+            assert tr.wire_bytes(big) < 100
+            assert abs(tr.wire_bytes(big) - tr.wire_bytes(small)) < 16
+            assert tr.wire_bytes(
+                tr.encode_payload(PAYLOAD, "pickle")
+            ) > 5 * tr.wire_bytes(big)
+        finally:
+            tr.decode_wire(small)
+            tr.decode_wire(big)
+
+    def test_shm_wire_survives_pipe_pickling(self):
+        """The result queue pickles the wire itself; an shm ticket must
+        decode identically after that hop."""
+        if not tr.shm_available():
+            pytest.skip("no shared memory on this host")
+        wire = tr.encode_payload(PAYLOAD, "shm")
+        piped = pickle.loads(pickle.dumps(wire))
+        assert tr.decode_wire(piped) == PAYLOAD
+
+    def test_encode_falls_back_when_shm_fails(self, monkeypatch):
+        import multiprocessing.shared_memory as shm_mod
+
+        def broken(*args, **kwargs):
+            raise OSError("no shm for you")
+
+        monkeypatch.setattr(shm_mod, "SharedMemory", broken)
+        wire = tr.encode_payload(PAYLOAD, "shm")
+        assert wire[0] == "pickle"
+        assert tr.decode_wire(wire) == PAYLOAD
+
+    def test_decode_rejects_unknown_kind(self):
+        with pytest.raises(InvalidParameterError, match="wire kind"):
+            tr.decode_wire(("carrier-pigeon", "x"))
+
+    def test_resolve_transport(self):
+        assert tr.resolve_transport("pickle") == "pickle"
+        assert tr.resolve_transport("shm") == "shm"
+        assert tr.resolve_transport("auto") in ("shm", "pickle")
+        with pytest.raises(InvalidParameterError, match="transport"):
+            tr.resolve_transport("osmosis")
+
+
+class TestRunnerParity:
+    """Records are byte-identical whatever transport carried them."""
+
+    def requests(self):
+        instances = [
+            poisson_instance(n, m=1, alpha=3.0, seed=seed)
+            for n, seed in ((20, 1), (30, 2), (25, 3))
+        ]
+        return [
+            RunRequest(algorithm, instance)
+            for instance in instances
+            for algorithm in ("pd", "yds")
+        ]
+
+    def test_rejects_unknown_transport(self):
+        with pytest.raises(InvalidParameterError, match="transport"):
+            BatchRunner(workers=2, transport="osmosis")
+
+    @pytest.mark.parametrize("transport", ["shm", "pickle"])
+    def test_pool_records_match_serial(self, transport):
+        requests = self.requests()
+        serial = BatchRunner(workers=1).run(requests)
+        pooled = BatchRunner(workers=2, transport=transport).run(requests)
+        assert len(serial) == len(pooled)
+        for a, b in zip(serial, pooled):
+            assert a.key == b.key
+            assert canonical(record_to_payload(a)) == canonical(
+                record_to_payload(b)
+            )
+
+    def test_cache_contents_transport_independent(self, tmp_path):
+        """A cache warmed through the shm transport serves the pickle
+        path (and vice versa) — same keys, same payloads."""
+        requests = self.requests()
+        shm_runner = BatchRunner(
+            workers=2, cache=tmp_path / "c", transport="shm"
+        )
+        first = shm_runner.run(requests)
+        assert shm_runner.stats.computed > 0
+        pickle_runner = BatchRunner(
+            workers=2, cache=tmp_path / "c", transport="pickle"
+        )
+        second = pickle_runner.run(requests)
+        assert pickle_runner.stats.computed == 0  # all hits
+        for a, b in zip(first, second):
+            assert a.key == b.key
+            assert canonical(record_to_payload(a)) == canonical(
+                record_to_payload(b)
+            )
+
+    def test_stolen_path_uses_transport(self):
+        from repro.engine.runner import InProcessClaimTable
+
+        requests = self.requests()
+        serial = BatchRunner(workers=1).run(requests)
+        claims = InProcessClaimTable(len(requests))
+        stolen = sorted(
+            BatchRunner(workers=2, transport="shm").iter_stolen(
+                requests, claims
+            ),
+            key=lambda pair: pair[0],
+        )
+        assert [position for position, _ in stolen] == list(
+            range(len(requests))
+        )
+        for a, (_, b) in zip(serial, stolen):
+            assert canonical(record_to_payload(a)) == canonical(
+                record_to_payload(b)
+            )
