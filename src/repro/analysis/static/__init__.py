@@ -1,0 +1,49 @@
+"""``repro.analysis.static`` — the repo's AST-based invariant checker.
+
+The codebase rests on conventions no test can fully enforce: every
+``repro.perf`` kernel keeps a bit-parity reference twin, everything
+folded into a cache key is deterministic, threaded classes write shared
+state under their locks, shared-memory segments are created and
+released in balance, and the registries' declared metadata matches what
+the code actually does. ``repro lint`` (this package) turns those
+conventions into machine-checked contracts with stable ``RPR###``
+codes:
+
+====== ==========================================================
+family contract
+====== ==========================================================
+RPR1xx determinism of cache-key material + record-schema versioning
+RPR2xx lock coverage in lock-owning classes
+RPR3xx kernel/reference parity pairs + differential tests
+RPR4xx shared-memory and cache-backend resource balance
+RPR5xx registry metadata contracts (live-import pass)
+====== ==========================================================
+
+Front ends: ``python -m repro lint [--select CODES] [--format
+text|json] [paths]`` (exits nonzero on findings) and the
+:func:`run_lint` API. ``# noqa: RPR###`` on the offending line
+suppresses a finding; house policy is that every suppression carries a
+rationale comment.
+"""
+
+from .core import (
+    Checker,
+    Finding,
+    SourceFile,
+    all_checkers,
+    collect_sources,
+    format_findings,
+    known_codes,
+    run_lint,
+)
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "SourceFile",
+    "all_checkers",
+    "collect_sources",
+    "format_findings",
+    "known_codes",
+    "run_lint",
+]

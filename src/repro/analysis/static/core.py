@@ -1,0 +1,281 @@
+"""Framework for ``repro lint`` — findings, sources, noqa, orchestration.
+
+The static-analysis layer has two kinds of passes, mirroring how the
+contracts it enforces are scoped:
+
+* **per-file AST visitors** (:meth:`Checker.check_file`) for purely
+  local invariants — lock coverage inside one class, shared-memory
+  create/close balance inside one function;
+* **whole-repo semantic passes** (:meth:`Checker.check_repo`) for
+  invariants that span files — nondeterminism reachable from the
+  cache-key hashing sites, kernel/reference parity pairs, live registry
+  metadata validation.
+
+Every finding carries an ``RPR###`` code. A finding is suppressed by a
+``# noqa: RPR###`` comment on its line (comma-separated codes; a family
+prefix like ``RPR2`` suppresses the whole family; bare ``# noqa``
+suppresses everything on the line). Suppressions are the escape hatch
+for *audited* exceptions — house policy (docs/architecture.md) is that
+every ``noqa`` carries a trailing rationale.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ...errors import InvalidParameterError
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "SourceFile",
+    "all_checkers",
+    "collect_sources",
+    "format_findings",
+    "run_lint",
+]
+
+#: ``# noqa`` / ``# noqa: RPR101, RPR2`` — the optional code list is
+#: captured for per-code matching.
+_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9 ,]+))?", re.IGNORECASE)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one location."""
+
+    path: str  #: repo-relative (or as-given) posix path
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass
+class SourceFile:
+    """A parsed Python source plus its suppression table."""
+
+    path: Path  #: absolute path on disk
+    rel: str  #: display path (repo-relative when under the lint root)
+    text: str
+    tree: ast.Module
+    #: line -> frozenset of codes (empty set means "suppress all")
+    noqa: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    def finding(self, node: ast.AST | None, code: str, message: str) -> Finding:
+        line = getattr(node, "lineno", 1) if node is not None else 1
+        col = getattr(node, "col_offset", 0) if node is not None else 0
+        return Finding(self.rel, int(line), int(col), code, message)
+
+
+class Checker:
+    """Base class: subclasses override one (or both) pass hooks.
+
+    ``codes`` maps every code a checker can emit to its one-line
+    description — the source of truth for ``repro lint --list-codes``
+    and the docs table.
+    """
+
+    name: str = "checker"
+    codes: dict[str, str] = {}
+
+    def check_file(self, source: SourceFile) -> list[Finding]:
+        return []
+
+    def check_repo(
+        self, sources: Sequence[SourceFile], root: Path
+    ) -> list[Finding]:
+        return []
+
+
+def _parse_noqa(text: str) -> dict[int, frozenset[str]]:
+    """The per-line suppression table of one source file.
+
+    Comments are located with :mod:`tokenize` (not a regex over raw
+    lines) so a ``# noqa`` inside a string literal never suppresses
+    anything.
+    """
+    table: dict[int, frozenset[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(iter(text.splitlines(True)).__next__)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_RE.search(tok.string)
+            if match is None:
+                continue
+            raw = match.group("codes")
+            codes = (
+                frozenset()
+                if raw is None
+                else frozenset(
+                    code.strip().upper()
+                    for code in raw.replace(",", " ").split()
+                    if code.strip()
+                )
+            )
+            table[tok.start[0]] = codes
+    except tokenize.TokenizeError:  # pragma: no cover - ast parse catches it
+        pass
+    return table
+
+
+def _suppressed(finding: Finding, noqa: dict[int, frozenset[str]]) -> bool:
+    codes = noqa.get(finding.line)
+    if codes is None:
+        return False
+    if not codes:  # bare "# noqa": everything on the line
+        return True
+    return any(finding.code.startswith(code) for code in codes)
+
+
+def _iter_python_files(path: Path) -> Iterable[Path]:
+    if path.is_file():
+        if path.suffix == ".py":
+            yield path
+        return
+    for candidate in sorted(path.rglob("*.py")):
+        if any(part.startswith(".") for part in candidate.parts):
+            continue
+        yield candidate
+
+
+def collect_sources(
+    paths: Sequence[str | Path], root: Path
+) -> tuple[list[SourceFile], list[Finding]]:
+    """Parse every ``.py`` file under ``paths``.
+
+    Unreadable or syntactically broken files become ``RPR001`` findings
+    rather than crashing the whole run — a linter that dies on the file
+    it should be reporting on is useless in CI.
+    """
+    sources: list[SourceFile] = []
+    errors: list[Finding] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        target = Path(raw)
+        if not target.is_absolute():
+            target = root / target
+        if not target.exists():
+            raise InvalidParameterError(f"lint target {raw!r} does not exist")
+        for file in _iter_python_files(target):
+            file = file.resolve()
+            if file in seen:
+                continue
+            seen.add(file)
+            try:
+                rel = file.relative_to(root.resolve()).as_posix()
+            except ValueError:
+                rel = file.as_posix()
+            try:
+                text = file.read_text(encoding="utf-8")
+                tree = ast.parse(text, filename=str(file))
+            except (OSError, SyntaxError, ValueError) as exc:
+                line = getattr(exc, "lineno", 1) or 1
+                errors.append(
+                    Finding(rel, int(line), 0, "RPR001", f"cannot parse: {exc}")
+                )
+                continue
+            sources.append(
+                SourceFile(
+                    path=file,
+                    rel=rel,
+                    text=text,
+                    tree=tree,
+                    noqa=_parse_noqa(text),
+                )
+            )
+    return sources, errors
+
+
+def all_checkers() -> list[Checker]:
+    """One instance of every shipped checker, in code order."""
+    from .determinism import DeterminismChecker
+    from .locks import LockCoverageChecker
+    from .parity import ParityPairChecker
+    from .registry_contracts import RegistryContractChecker
+    from .resources import ResourceBalanceChecker
+
+    return [
+        DeterminismChecker(),
+        LockCoverageChecker(),
+        ParityPairChecker(),
+        ResourceBalanceChecker(),
+        RegistryContractChecker(),
+    ]
+
+
+def known_codes() -> dict[str, str]:
+    """Every emittable code -> description (framework codes included)."""
+    table = {"RPR001": "file cannot be parsed"}
+    for checker in all_checkers():
+        table.update(checker.codes)
+    return dict(sorted(table.items()))
+
+
+def _selected(code: str, select: Sequence[str] | None) -> bool:
+    if not select:
+        return True
+    return any(code.startswith(prefix.strip().upper()) for prefix in select)
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    *,
+    root: str | Path | None = None,
+    select: Sequence[str] | None = None,
+    checkers: Sequence[Checker] | None = None,
+) -> list[Finding]:
+    """Run every checker over ``paths`` and return surviving findings.
+
+    ``select`` filters by code prefix (``["RPR2"]`` keeps the whole
+    lock-coverage family). ``noqa`` suppressions are applied before
+    selection; results are sorted by location then code.
+    """
+    root = Path(root) if root is not None else Path.cwd()
+    sources, findings = collect_sources(paths, root)
+    by_rel = {source.rel: source for source in sources}
+    active = list(checkers) if checkers is not None else all_checkers()
+    for checker in active:
+        raw: list[Finding] = []
+        for source in sources:
+            raw.extend(checker.check_file(source))
+        raw.extend(checker.check_repo(sources, root))
+        for finding in raw:
+            source = by_rel.get(finding.path)
+            if source is not None and _suppressed(finding, source.noqa):
+                continue
+            findings.append(finding)
+    return sorted(f for f in findings if _selected(f.code, select))
+
+
+def format_findings(findings: Sequence[Finding], fmt: str = "text") -> str:
+    """Render findings as ``text`` (one line each) or ``json``."""
+    if fmt == "json":
+        return json.dumps(
+            {
+                "findings": [dataclasses.asdict(f) for f in findings],
+                "count": len(findings),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    if fmt != "text":
+        raise InvalidParameterError(
+            f"lint format must be 'text' or 'json', got {fmt!r}"
+        )
+    lines = [finding.render() for finding in findings]
+    lines.append(
+        f"{len(findings)} finding(s)" if findings else "clean: no findings"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,205 @@
+"""RPR2xx — lock coverage in classes that own a lock.
+
+The threaded surfaces (``repro.io.server.CacheServer``, the claim
+tables, any backend served to handler threads) follow one discipline:
+a class that creates a ``threading.Lock``/``RLock``/``Condition`` in
+``__init__`` is declaring "my mutable state is shared"; every write to
+an attribute initialized in ``__init__`` must then happen inside a
+``with self.<lock>:`` block. ``__init__`` itself (and the context/
+finalizer dunders, which run on the owning thread) are exempt.
+
+The checker is lexical: it sees ``with self._lock:`` nesting, not
+runtime call structure, so a private helper that is *documented* as
+"call holding the lock" needs a ``# noqa: RPR201`` with that rationale
+— which is exactly the audit trail the convention wants.
+
+Codes
+-----
+* ``RPR201`` — write to a shared attribute outside every lock block.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import Checker, Finding, SourceFile
+
+__all__ = ["LockCoverageChecker"]
+
+#: Constructor names that mark an attribute as a lock.
+_LOCK_FACTORIES = frozenset({"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"})
+
+#: Methods that run on the owning thread before/after sharing starts.
+_EXEMPT_METHODS = frozenset({"__init__", "__post_init__", "__del__", "__exit__"})
+
+
+def _dotted_last(node: ast.AST) -> str | None:
+    while isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """``self.X`` -> ``"X"`` (only for a plain ``self`` base)."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _store_targets(node: ast.stmt) -> list[ast.expr]:
+    if isinstance(node, ast.Assign):
+        return list(node.targets)
+    if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        return [node.target]
+    if isinstance(node, ast.Delete):
+        return list(node.targets)
+    return []
+
+
+def _written_attr(target: ast.expr) -> tuple[str | None, ast.expr]:
+    """The ``self`` attribute a store target writes, unwrapping
+    subscripts (``self._entries[k] = ...`` writes ``_entries``) and
+    tuple targets handled by the caller."""
+    node = target
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    return _self_attr(node), target
+
+
+class _MethodVisitor(ast.NodeVisitor):
+    """Walk one method body tracking ``with self.<lock>`` nesting."""
+
+    def __init__(
+        self,
+        source: SourceFile,
+        class_name: str,
+        method_name: str,
+        shared: frozenset[str],
+        locks: frozenset[str],
+    ) -> None:
+        self.source = source
+        self.class_name = class_name
+        self.method_name = method_name
+        self.shared = shared
+        self.locks = locks
+        self.depth = 0
+        self.findings: list[Finding] = []
+
+    def _holds_lock(self, item: ast.withitem) -> bool:
+        expr = item.context_expr
+        # ``with self._lock:`` and ``with self._lock.acquire_timeout()``-
+        # style wrappers both count; the lock attribute is the anchor.
+        for node in ast.walk(expr):
+            attr = _self_attr(node)
+            if attr is not None and attr in self.locks:
+                return True
+        return False
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        held = any(self._holds_lock(item) for item in node.items)
+        if held:
+            self.depth += 1
+        self.generic_visit(node)
+        if held:
+            self.depth -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested defs are visited as methods only at class level
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def generic_visit(self, node: ast.AST) -> None:
+        if isinstance(node, ast.stmt) and self.depth == 0:
+            for target in _store_targets(node):
+                targets = (
+                    target.elts
+                    if isinstance(target, (ast.Tuple, ast.List))
+                    else [target]
+                )
+                for element in targets:
+                    attr, anchor = _written_attr(element)
+                    if attr in self.shared and attr not in self.locks:
+                        self.findings.append(
+                            self.source.finding(
+                                anchor,
+                                "RPR201",
+                                f"{self.class_name}.{self.method_name} writes "
+                                f"shared attribute self.{attr} outside "
+                                f"`with self.<lock>` (locks owned: "
+                                f"{', '.join(sorted(self.locks))})",
+                            )
+                        )
+        super().generic_visit(node)
+
+
+class LockCoverageChecker(Checker):
+    """Classes owning a lock must write shared state under it."""
+
+    name = "lock-coverage"
+    codes = {
+        "RPR201": "shared-attribute write outside the owning class's lock",
+    }
+
+    def check_file(self, source: SourceFile) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(source, node))
+        return findings
+
+    def _check_class(
+        self, source: SourceFile, cls: ast.ClassDef
+    ) -> list[Finding]:
+        methods = [
+            child
+            for child in cls.body
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        locks: set[str] = set()
+        shared: set[str] = set()
+        for method in methods:
+            for stmt in ast.walk(method):
+                for target in _store_targets(stmt) if isinstance(stmt, ast.stmt) else []:
+                    attr, _ = _written_attr(target)
+                    if attr is None:
+                        continue
+                    value = getattr(stmt, "value", None)
+                    if (
+                        isinstance(value, ast.Call)
+                        and _dotted_last(value.func) in _LOCK_FACTORIES
+                    ):
+                        locks.add(attr)
+                    elif method.name == "__init__" and not isinstance(
+                        target, ast.Subscript
+                    ):
+                        shared.add(attr)
+        if not locks:
+            return []
+        findings: list[Finding] = []
+        for method in methods:
+            if method.name in _EXEMPT_METHODS:
+                continue
+            visitor = _MethodVisitor(
+                source,
+                cls.name,
+                method.name,
+                frozenset(shared),
+                frozenset(locks),
+            )
+            for stmt in method.body:
+                visitor.visit(stmt)
+            findings.extend(visitor.findings)
+        return findings

@@ -1,0 +1,180 @@
+"""RPR3xx — every ``repro.perf`` kernel keeps a bit-parity reference twin.
+
+The performance layer's license to exist is the differential-testing
+contract (docs/architecture.md): a kernel may change *how* a result is
+computed, never *what* it is, and the proof is a retained straight-line
+reference implementation plus a test that runs both. This checker makes
+the contract structural:
+
+* every public name exported by a kernel module under ``repro/perf/``
+  (everything except ``reference.py``, ``bench.py``, ``__init__.py``)
+  must map to a counterpart in ``repro.perf.reference`` — either by
+  naming convention (``foo`` -> ``foo_reference``, ``Foo`` ->
+  ``FooReference``) or through the explicit ``PARITY_PAIRS`` table in
+  ``reference.py`` (for kernels whose reference twin is a whole
+  scheduler, e.g. ``IntervalLoads`` -> ``PDSchedulerReference``);
+* some test module under ``tests/`` must reference the kernel name and
+  its counterpart *together* — the differential test.
+
+Codes
+-----
+* ``RPR301`` — public kernel with no reference counterpart;
+* ``RPR302`` — kernel/reference pair never exercised together by a test.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Sequence
+
+from .core import Checker, Finding, SourceFile
+
+__all__ = ["ParityPairChecker"]
+
+#: perf modules that are not kernels (the harness and the twins).
+_NON_KERNEL = {"__init__.py", "reference.py", "bench.py"}
+
+
+def _module_all(tree: ast.Module) -> tuple[list[str], ast.AST | None]:
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and any(
+                isinstance(t, ast.Name) and t.id == "__all__"
+                for t in node.targets
+            )
+            and isinstance(node.value, (ast.List, ast.Tuple))
+        ):
+            names = [
+                element.value
+                for element in node.value.elts
+                if isinstance(element, ast.Constant)
+                and isinstance(element.value, str)
+            ]
+            return names, node
+    return [], None
+
+
+def _parity_pairs(tree: ast.Module) -> dict[str, str]:
+    """The explicit kernel -> reference table declared in reference.py."""
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and any(
+                isinstance(t, ast.Name) and t.id == "PARITY_PAIRS"
+                for t in node.targets
+            )
+            and isinstance(node.value, ast.Dict)
+        ):
+            pairs: dict[str, str] = {}
+            for key, value in zip(node.value.keys, node.value.values):
+                if (
+                    isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                    and isinstance(value, ast.Constant)
+                    and isinstance(value.value, str)
+                ):
+                    pairs[key.value] = value.value
+            return pairs
+    return {}
+
+
+def _top_level_names(tree: ast.Module) -> set[str]:
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+class ParityPairChecker(Checker):
+    """Public perf kernels need reference twins and differential tests."""
+
+    name = "parity-pairs"
+    codes = {
+        "RPR301": "public repro.perf kernel has no repro.perf.reference counterpart",
+        "RPR302": "kernel/reference pair has no differential test naming both",
+    }
+
+    def check_repo(
+        self, sources: Sequence[SourceFile], root: Path
+    ) -> list[Finding]:
+        kernels: list[tuple[SourceFile, str, ast.AST | None]] = []
+        reference: SourceFile | None = None
+        for source in sources:
+            parts = source.rel.split("/")
+            if "perf" not in parts or not source.rel.endswith(".py"):
+                continue
+            filename = parts[-1]
+            if filename == "reference.py":
+                reference = source
+            elif filename not in _NON_KERNEL:
+                names, node = _module_all(source.tree)
+                for name in names:
+                    kernels.append((source, name, node))
+        if not kernels:
+            return []
+        if reference is None:
+            return [
+                source.finding(
+                    node,
+                    "RPR301",
+                    f"kernel module exports {name!r} but repro.perf has no "
+                    "reference.py with its bit-parity twin",
+                )
+                for source, name, node in kernels
+            ]
+        pairs = _parity_pairs(reference.tree)
+        reference_names = _top_level_names(reference.tree)
+        test_texts = _test_texts(root)
+        findings: list[Finding] = []
+        for source, name, node in kernels:
+            counterpart = pairs.get(name)
+            if counterpart is None:
+                for candidate in (f"{name}_reference", f"{name}Reference"):
+                    if candidate in reference_names:
+                        counterpart = candidate
+                        break
+            if counterpart is None or counterpart not in reference_names:
+                findings.append(
+                    source.finding(
+                        node,
+                        "RPR301",
+                        f"public kernel {name!r} has no counterpart in "
+                        "repro.perf.reference (add one, or map it in "
+                        "reference.PARITY_PAIRS)",
+                    )
+                )
+                continue
+            if test_texts and not any(
+                name in text and counterpart in text
+                for text in test_texts.values()
+            ):
+                findings.append(
+                    source.finding(
+                        node,
+                        "RPR302",
+                        f"no test module references kernel {name!r} together "
+                        f"with its reference twin {counterpart!r} — the "
+                        "bit-parity differential test is missing",
+                    )
+                )
+        return findings
+
+
+def _test_texts(root: Path) -> dict[str, str]:
+    tests_dir = root / "tests"
+    if not tests_dir.is_dir():
+        return {}
+    texts: dict[str, str] = {}
+    for path in sorted(tests_dir.rglob("test_*.py")):
+        try:
+            texts[str(path)] = path.read_text(encoding="utf-8")
+        except OSError:
+            continue
+    return texts

@@ -1,0 +1,306 @@
+"""RPR5xx — live validation of the registry metadata contracts.
+
+The registries are the engine's naming layer: what they declare
+(capability tags, certificate hooks, variant/workload parameter
+tables) is what every generic layer above them trusts. Pure AST
+analysis cannot see through the decorator indirection, so this pass
+*imports* the global registries and exercises the declared metadata:
+
+* every registered algorithm and workload must resolve (lazy imports
+  included) — a typo'd module path otherwise only explodes at first
+  use (``RPR501``);
+* a declared certificate hook must be a callable taking exactly one
+  required positional argument (the raw run result) — the shape the
+  batch runner invokes it with (``RPR502``);
+* variant/workload parameter specs must parse and canonicalize to a
+  fixed point: resolving ``base?key=value`` and re-resolving the
+  canonical name must land on the same canonical name, or two
+  spellings of one configuration would split cache keys (``RPR503``);
+* building a registered workload twice from the identical spec must
+  produce the identical serialized instance — the dynamic half of the
+  determinism contract; unseeded randomness in a generator is invisible
+  to the static RPR1xx pass but caught here (``RPR504``);
+* every workload must honor the uniform ``family(n, *, seed)`` build
+  contract the registry documents (``RPR505``).
+
+The pass runs only when the linted sources include the registry
+modules themselves (so linting one unrelated file stays cheap), and it
+builds tiny instances (n <= 8), so it stays fast enough for CI's lint
+job.
+"""
+
+from __future__ import annotations
+
+import inspect
+from pathlib import Path
+from typing import Any, Sequence
+
+from .core import Checker, Finding, SourceFile
+
+__all__ = ["RegistryContractChecker", "check_algorithms", "check_workloads"]
+
+#: Probe values per declared caster; first accepted value wins. Custom
+#: casters fall back to the generic probes.
+_SAMPLES: dict[Any, tuple[str, ...]] = {
+    int: ("2", "3"),
+    float: ("0.5", "0.25", "2.0"),
+    str: ("x",),
+}
+_GENERIC_SAMPLES = ("0.5", "2", "x")
+
+
+def _anchor(
+    sources: Sequence[SourceFile], suffix: str
+) -> SourceFile | None:
+    for source in sources:
+        if source.rel.endswith(suffix):
+            return source
+    return None
+
+
+def _certificate_arity_ok(hook: Any) -> bool:
+    if not callable(hook):
+        return False
+    try:
+        signature = inspect.signature(hook)
+    except (TypeError, ValueError):  # builtins: give the benefit of the doubt
+        return True
+    required = 0
+    has_var_positional = False
+    for parameter in signature.parameters.values():
+        if parameter.kind in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            if parameter.default is inspect.Parameter.empty:
+                required += 1
+        elif parameter.kind is inspect.Parameter.VAR_POSITIONAL:
+            has_var_positional = True
+        elif (
+            parameter.kind is inspect.Parameter.KEYWORD_ONLY
+            and parameter.default is inspect.Parameter.empty
+        ):
+            return False  # the runner passes exactly one positional arg
+    return required == 1 or (required == 0 and has_var_positional)
+
+
+def check_algorithms(registry: Any, anchor: SourceFile) -> list[Finding]:
+    """Validate one algorithm registry against its declared metadata."""
+    findings: list[Finding] = []
+    try:
+        names = list(registry.names())
+    except Exception as exc:  # noqa - a broken registry is the finding
+        return [
+            anchor.finding(
+                None, "RPR501", f"algorithm registry failed to list: {exc}"
+            )
+        ]
+    for name in names:
+        try:
+            info = registry.info(name)
+        except Exception as exc:
+            findings.append(
+                anchor.finding(
+                    None,
+                    "RPR501",
+                    f"registered algorithm {name!r} fails to resolve: {exc}",
+                )
+            )
+            continue
+        if not callable(getattr(info, "runner", None)):
+            findings.append(
+                anchor.finding(
+                    None,
+                    "RPR501",
+                    f"algorithm {name!r} has a non-callable runner",
+                )
+            )
+        hook = getattr(info, "certificate", None)
+        claims = "certificate-producing" in info.capabilities()
+        if claims != (hook is not None):
+            findings.append(
+                anchor.finding(
+                    None,
+                    "RPR502",
+                    f"algorithm {name!r} capability tags "
+                    f"({sorted(info.capabilities())}) disagree with its "
+                    f"certificate hook ({hook!r})",
+                )
+            )
+        if hook is not None and not _certificate_arity_ok(hook):
+            findings.append(
+                anchor.finding(
+                    None,
+                    "RPR502",
+                    f"algorithm {name!r} declares a certificate hook that "
+                    "cannot be called with one positional argument (the "
+                    "raw run result) — the runner invokes hook(raw)",
+                )
+            )
+        findings.extend(_check_variant_roundtrip(registry, name, info, anchor))
+    return findings
+
+
+def _check_variant_roundtrip(
+    registry: Any, name: str, info: Any, anchor: SourceFile
+) -> list[Finding]:
+    findings: list[Finding] = []
+    for key, caster in dict(getattr(info, "variant_params", {})).items():
+        if not callable(caster):
+            findings.append(
+                anchor.finding(
+                    None,
+                    "RPR503",
+                    f"algorithm {name!r} declares variant param {key!r} "
+                    f"with a non-callable caster {caster!r}",
+                )
+            )
+            continue
+        resolved = None
+        for sample in _SAMPLES.get(caster, _GENERIC_SAMPLES):
+            try:
+                resolved = registry.info(f"{name}?{key}={sample}")
+                break
+            except Exception:
+                continue
+        if resolved is None:
+            continue  # no probe value in the param's domain: cannot test
+        try:
+            again = registry.info(resolved.name)
+        except Exception as exc:
+            findings.append(
+                anchor.finding(
+                    None,
+                    "RPR503",
+                    f"variant spec {resolved.name!r} (canonical form of "
+                    f"{name}?{key}=...) fails to re-resolve: {exc}",
+                )
+            )
+            continue
+        if again.name != resolved.name or dict(again.params) != dict(
+            resolved.params
+        ):
+            findings.append(
+                anchor.finding(
+                    None,
+                    "RPR503",
+                    f"variant spec canonicalization is not a fixed point for "
+                    f"{name!r}: {resolved.name!r} re-resolves to "
+                    f"{again.name!r} — two spellings of one configuration "
+                    "would split cache keys",
+                )
+            )
+    return findings
+
+
+def check_workloads(registry: Any, anchor: SourceFile) -> list[Finding]:
+    """Validate one workload registry: specs, contract, determinism."""
+    from ...io.serialize import instance_to_dict
+
+    findings: list[Finding] = []
+    try:
+        names = list(registry.names())
+    except Exception as exc:
+        return [
+            anchor.finding(
+                None, "RPR501", f"workload registry failed to list: {exc}"
+            )
+        ]
+    for name in names:
+        try:
+            info = registry.info(name)
+        except Exception as exc:
+            findings.append(
+                anchor.finding(
+                    None,
+                    "RPR501",
+                    f"registered workload {name!r} fails to resolve: {exc}",
+                )
+            )
+            continue
+        spec = f"{name}?n=6&seed=3"
+        try:
+            first = registry.build(spec)
+        except Exception as exc:
+            findings.append(
+                anchor.finding(
+                    None,
+                    "RPR505",
+                    f"workload {name!r} breaks the uniform build contract "
+                    f"(build({spec!r}) raised {type(exc).__name__}: {exc})",
+                )
+            )
+            continue
+        try:
+            second = registry.build(spec)
+        except Exception as exc:
+            findings.append(
+                anchor.finding(
+                    None,
+                    "RPR505",
+                    f"workload {name!r} built once but not twice "
+                    f"({type(exc).__name__}: {exc}) — generators must be "
+                    "re-entrant",
+                )
+            )
+            continue
+        if instance_to_dict(first) != instance_to_dict(second):
+            findings.append(
+                anchor.finding(
+                    None,
+                    "RPR504",
+                    f"workload {name!r} is nondeterministic: two builds of "
+                    f"{spec!r} produced different instances — the generator "
+                    "draws entropy outside its seed",
+                )
+            )
+        canonical = info.name
+        try:
+            if registry.info(canonical).name != canonical:
+                raise ValueError("canonical name is not a fixed point")
+        except Exception as exc:
+            findings.append(
+                anchor.finding(
+                    None,
+                    "RPR503",
+                    f"workload {name!r} canonicalization failure: {exc}",
+                )
+            )
+    return findings
+
+
+class RegistryContractChecker(Checker):
+    """Live-import validation of AlgorithmRegistry / WorkloadRegistry."""
+
+    name = "registry-contracts"
+    codes = {
+        "RPR501": "registry entry fails to resolve or lacks a runner",
+        "RPR502": "capability claims disagree with the certificate hook",
+        "RPR503": "variant/workload param spec does not parse and round-trip",
+        "RPR504": "workload build is nondeterministic under a fixed seed",
+        "RPR505": "workload breaks the uniform family(n, seed) build contract",
+    }
+
+    #: Injectable for tests; ``None`` means the library's global
+    #: registries, imported lazily at check time.
+    def __init__(self, algorithms: Any = None, workloads: Any = None) -> None:
+        self._algorithms = algorithms
+        self._workloads = workloads
+
+    def check_repo(
+        self, sources: Sequence[SourceFile], root: Path
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        algo_anchor = _anchor(sources, "engine/registry.py")
+        work_anchor = _anchor(sources, "workloads/registry.py")
+        if algo_anchor is not None:
+            registry = self._algorithms
+            if registry is None:
+                from ...engine.registry import REGISTRY as registry
+            findings.extend(check_algorithms(registry, algo_anchor))
+        if work_anchor is not None:
+            registry = self._workloads
+            if registry is None:
+                from ...workloads.registry import WORKLOADS as registry
+            findings.extend(check_workloads(registry, work_anchor))
+        return findings

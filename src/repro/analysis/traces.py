@@ -63,7 +63,6 @@ def build_traces(
     grid = schedule.grid
     alpha = instance.alpha
     finished = schedule.finished
-    s_hat = cert.s_hat
 
     speeds = schedule.processor_speed_matrix()  # (m, N), descending rows
     lengths = grid.lengths

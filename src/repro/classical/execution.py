@@ -21,7 +21,6 @@ from ..errors import InfeasibleScheduleError
 from ..model.intervals import Grid
 from ..model.job import Instance
 from ..model.schedule import Schedule
-from ..types import FloatArray
 
 __all__ = ["schedule_from_segments"]
 

@@ -119,15 +119,25 @@ def encode_payload(payload: dict[str, Any], transport: str) -> tuple:
 
             blob = pickle.dumps(payload, protocol=_PICKLE_PROTOCOL)
             shm = SharedMemory(create=True, size=max(1, len(blob)))
+        except pickle.PicklingError:
+            raise
+        except Exception:
+            return ("pickle", payload)
+        try:
             shm.buf[: len(blob)] = blob
             name = shm.name
             shm.close()
             _untrack(shm)
             return ("shm", name, len(blob))
-        except pickle.PicklingError:
-            raise
         except Exception:
-            pass
+            # The segment exists but no ticket will reference it: release
+            # it here or it lives until the resource tracker reaps it at
+            # process exit.
+            for cleanup in (shm.close, shm.unlink):
+                try:
+                    cleanup()
+                except OSError:
+                    pass
     return ("pickle", payload)
 
 

@@ -398,6 +398,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the fresh results into this baseline directory",
     )
 
+    lnt = sub.add_parser(
+        "lint",
+        help="AST-based invariant checker (RPR determinism/lock/parity codes)",
+    )
+    lnt.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        metavar="PATH",
+        help="files or directories to check (default: src)",
+    )
+    lnt.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="CODES",
+        help=(
+            "only report these codes (comma-separated, prefix match: "
+            "RPR2 selects the whole lock-coverage family; repeatable)"
+        ),
+    )
+    lnt.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        dest="lint_format",
+        help="output format (default: text)",
+    )
+    lnt.add_argument(
+        "--list-codes",
+        action="store_true",
+        help="print every RPR code with its description, then exit",
+    )
+
     cch = sub.add_parser("cache", help="inspect and maintain result caches")
     cch_sub = cch.add_subparsers(dest="cache_command", required=True)
     for name, blurb in (
@@ -810,6 +844,26 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.baseline:
         print(f"baseline gate passed (factor {args.factor:g}x)")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from ..analysis.static import format_findings, known_codes, run_lint
+
+    if args.list_codes:
+        for code, description in known_codes().items():
+            print(f"{code}  {description}")
+        return 0
+    select = None
+    if args.select:
+        select = [
+            code.strip()
+            for chunk in args.select
+            for code in chunk.split(",")
+            if code.strip()
+        ]
+    findings = run_lint(args.paths or ["src"], select=select)
+    print(format_findings(findings, args.lint_format))
+    return 1 if findings else 0
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -1301,6 +1355,7 @@ _DISPATCH = {
     "cache-serve": _cmd_cache_serve,
     "cache": _cmd_cache,
     "bench": _cmd_bench,
+    "lint": _cmd_lint,
 }
 
 

@@ -134,17 +134,30 @@ class CacheServer:
         self._httpd.serve_forever()
 
     def start(self) -> "CacheServer":
-        self._thread = threading.Thread(
+        thread = threading.Thread(
             target=self._httpd.serve_forever, daemon=True
         )
-        self._thread.start()
+        # The serve-thread handle is shared state like any other:
+        # embedders start/stop from whatever thread owns the server, so
+        # the handle swap happens under the lock (and a double start is
+        # refused instead of leaking the first thread).
+        with self._lock:
+            if self._thread is not None:
+                raise InvalidParameterError(
+                    "cache server is already started; stop() it first"
+                )
+            self._thread = thread
+        thread.start()
         return self
 
     def stop(self) -> None:
         self._httpd.shutdown()
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-            self._thread = None
+        with self._lock:
+            thread, self._thread = self._thread, None
+        if thread is not None:
+            # Join outside the lock: handler threads still draining
+            # their last responses may need it.
+            thread.join(timeout=5.0)
         self._httpd.server_close()
 
     # -- backend operations (all serialized behind the lock) ------------

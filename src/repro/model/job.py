@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -144,7 +144,7 @@ class Instance:
         # Validates alpha as a side effect.
         object.__setattr__(self, "_power", PolynomialPower(self.alpha))
 
-    def __getattr__(self, name: str):
+    def __getattr__(self, name: str) -> Any:
         # Lazy Job materialization for array-backed instances (built via
         # `from_arrays`, which bypasses __init__ and leaves `jobs` unset).
         if name == "jobs":

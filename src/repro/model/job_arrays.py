@@ -27,8 +27,10 @@ million-job instance construction cheap.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from ..errors import InvalidJobError
 from ..types import FloatArray
@@ -39,7 +41,7 @@ __all__ = ["JobArrays"]
 _COLUMNS = ("releases", "deadlines", "workloads", "values")
 
 
-def _frozen_column(name: str, data) -> FloatArray:
+def _frozen_column(name: str, data: npt.ArrayLike) -> FloatArray:
     try:
         arr = np.array(data, dtype=np.float64, order="C", copy=True)
     except (TypeError, ValueError) as exc:
@@ -140,7 +142,7 @@ class JobArrays:
     # Construction / transformation
     # ------------------------------------------------------------------
     @classmethod
-    def from_jobs(cls, jobs) -> "JobArrays":
+    def from_jobs(cls, jobs: Sequence[Job]) -> "JobArrays":
         """Columnarize a sequence of :class:`Job` objects."""
         return cls(
             releases=np.array([j.release for j in jobs], dtype=np.float64),
@@ -149,7 +151,7 @@ class JobArrays:
             values=np.array([j.value for j in jobs], dtype=np.float64),
         )
 
-    def permuted(self, order) -> "JobArrays":
+    def permuted(self, order: npt.ArrayLike) -> "JobArrays":
         """Columns reordered by ``order`` (an index array/list)."""
         idx = np.asarray(order, dtype=np.intp)
         return JobArrays(

@@ -17,9 +17,8 @@ and rendering uniform.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
-from typing import Iterable
 
 import numpy as np
 

@@ -30,11 +30,14 @@ import os
 import platform
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
 
 import numpy as np
 
 from ..errors import InvalidParameterError
+
+if TYPE_CHECKING:
+    from ..model.job import Instance
 
 __all__ = [
     "SCENARIOS",
@@ -101,7 +104,7 @@ def _pd_point(point: Mapping[str, Any]) -> dict:
     }
 
 
-def _classical_instance(n: int, seed: int = 0):
+def _classical_instance(n: int, seed: int = 0) -> "Instance":
     from ..model.job import Instance
     from ..workloads import poisson_instance
 

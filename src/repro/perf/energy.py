@@ -53,8 +53,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from typing import Sequence
+
 from ..chen.partition import _LOAD_EPS as _PART_EPS
 from ..errors import InvalidParameterError
+from ..model.power import PowerFunction
+from ..types import FloatArray
+from .kernels import IntervalLoads
 
 __all__ = ["schedule_energy", "stores_energy"]
 
@@ -62,7 +67,12 @@ __all__ = ["schedule_energy", "stores_energy"]
 _GATE_EPS = 1e-12
 
 
-def schedule_energy(loads, lengths, m: int, power) -> float:
+def schedule_energy(
+    loads: FloatArray,
+    lengths: FloatArray,
+    m: int,
+    power: PowerFunction,
+) -> float:
     """Energy of a dense ``(n, N)`` load matrix, all columns batched.
 
     Bit-identical to the per-column reference loop (see module
@@ -159,7 +169,12 @@ def schedule_energy(loads, lengths, m: int, power) -> float:
     return float(np.cumsum(energies)[-1])
 
 
-def stores_energy(states, lengths, m: int, power) -> float:
+def stores_energy(
+    states: Sequence[IntervalLoads],
+    lengths: FloatArray,
+    m: int,
+    power: PowerFunction,
+) -> float:
     """Energy straight off live ``IntervalLoads`` stores (no dense matrix).
 
     ``states`` are per-interval stores as maintained by

@@ -48,6 +48,7 @@ from bisect import bisect_left, bisect_right
 import numpy as np
 
 from ..errors import InvalidParameterError
+from ..types import FloatArray
 
 __all__ = ["IntervalLoads", "WindowKernel"]
 
@@ -198,7 +199,7 @@ class WindowKernel:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def _vector_loads(self, speed: float):
+    def _vector_loads(self, speed: float) -> FloatArray:
         """Per-interval loads via one batched numpy pass (wide windows)."""
         target = speed * self._lengths_arr
         d = (self._loads_mat > target[:, None]).sum(axis=1)
@@ -232,7 +233,7 @@ class WindowKernel:
                 total += z if z <= target else target
         return total
 
-    def loads_at_speed(self, speed: float):
+    def loads_at_speed(self, speed: float) -> FloatArray:
         """Per-interval load vector at ``speed`` (the final placement)."""
         if self._loads_mat is not None:
             if speed <= 0.0:

@@ -20,16 +20,31 @@ from ..chen.interval_power import SortedLoads
 from ..core.pd import JobDecision, PDResult
 from ..core.waterfill import waterfill_job
 from ..errors import InvalidParameterError
-from ..model.intervals import Grid
+from ..model.intervals import Grid, Refinement
 from ..model.job import Instance, Job
+from ..model.power import PowerFunction
 from ..model.schedule import Schedule
 from ..types import FloatArray
 
 __all__ = [
+    "PARITY_PAIRS",
     "PDSchedulerReference",
     "run_pd_reference",
     "schedule_energy_reference",
 ]
+
+#: Kernel -> reference counterpart, for pairs the ``<name>_reference``
+#: naming convention cannot express (a data-structure kernel whose
+#: reference twin is the whole scheduler it accelerates). ``repro lint``
+#: (RPR3xx) reads this table: every public ``repro.perf`` kernel must
+#: resolve to a name defined in this module, and some test must
+#: exercise both names together.
+PARITY_PAIRS = {
+    "IntervalLoads": "run_pd_reference",
+    "WindowKernel": "run_pd_reference",
+    "schedule_energy": "schedule_energy_reference",
+    "stores_energy": "schedule_energy_reference",
+}
 
 
 def schedule_energy_reference(schedule: Schedule) -> float:
@@ -80,7 +95,7 @@ class PDSchedulerReference:
         m: int,
         alpha: float,
         delta: float | None = None,
-        power=None,
+        power: PowerFunction | None = None,
     ) -> None:
         if m < 1:
             raise InvalidParameterError(f"m must be >= 1, got {m}")
@@ -195,7 +210,7 @@ class PDSchedulerReference:
         self._grid = refinement.grid
 
 
-def _remap_rows(matrix: FloatArray, refinement) -> FloatArray:
+def _remap_rows(matrix: FloatArray, refinement: Refinement) -> FloatArray:
     """Apply a grid refinement to every row of a per-interval matrix."""
     if matrix.shape[0] == 0:
         return np.zeros((0, refinement.grid.size))

@@ -1,0 +1,7 @@
+"""Planted-violation fixtures for tests/test_static_lint.py.
+
+Every file in this package deliberately violates one RPR rule family;
+the lint test suite asserts the corresponding checker fires on it (and
+that ``# noqa`` silences it where planted). None of these modules is
+ever imported by product code.
+"""

@@ -1,0 +1,16 @@
+"""RPR101/RPR102 fixture: nondeterminism in a key producer's closure."""
+
+import time
+
+
+def _salt():
+    return time.time()
+
+
+def gather(payload):
+    tags = [tag for tag in {"a", "b"}]
+    return [payload, tags, _salt()]
+
+
+def make_key(payload):
+    return stable_hash(gather(payload))  # noqa: F821 - fixture, name-level edge

@@ -1,0 +1,29 @@
+"""RPR201 fixture: a lock-owning class writing shared state unlocked."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+        self._log = []
+
+    def bump(self):
+        self._count += 1
+
+    def tricky(self):
+        self._count = "# noqa"  # the string must not suppress anything
+
+    def record(self, item):
+        self._log[0] = item
+
+    def safe_bump(self):
+        with self._lock:
+            self._count += 1
+
+    def safe_nested(self):
+        with self._lock:
+            with open("/dev/null") as sink:
+                self._count = 0
+                sink.read(0)

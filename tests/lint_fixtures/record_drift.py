@@ -1,0 +1,5 @@
+"""RPR103 fixture: payload vocabulary drifted under a registered version."""
+
+RECORD_VERSION = 2
+
+_RECORD_PAYLOAD_KEYS = frozenset({"kind", "cost", "freshly_added_field"})

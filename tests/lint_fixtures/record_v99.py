@@ -1,0 +1,5 @@
+"""RPR104 fixture: a RECORD_VERSION with no registered fingerprint."""
+
+RECORD_VERSION = 99
+
+_RECORD_PAYLOAD_KEYS = frozenset({"kind", "cost", "mystery_field"})

@@ -1,0 +1,38 @@
+"""RPR401/RPR402/RPR403 fixture: unbalanced shm, lifecycle-less backend."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def leaky_create(blob):
+    shm = SharedMemory(create=True, size=max(1, len(blob)))
+    shm.buf[: len(blob)] = blob
+    return shm.name
+
+
+def leaky_attach(name, nbytes):
+    shm = SharedMemory(name=name)
+    return bytes(shm.buf[:nbytes])
+
+
+def balanced_create(blob):
+    shm = SharedMemory(create=True, size=max(1, len(blob)))
+    try:
+        shm.buf[: len(blob)] = blob
+        return shm.name
+    finally:
+        shm.close()
+        shm.unlink()
+
+
+class BadBackend:
+    def __init__(self):
+        self._data = {}
+
+    def get(self, key):
+        return self._data.get(key)
+
+    def put(self, key, value):
+        self._data[key] = value
+
+    def keys(self):
+        return list(self._data)

@@ -265,6 +265,18 @@ class TestServerHardening:
         finally:
             srv.stop()
 
+    def test_double_start_rejected(self):
+        """``start()`` publishes the thread handle under the lock: a
+        second ``start()`` while serving must refuse instead of silently
+        orphaning the first thread's handle (the RPR2xx lock-coverage
+        defect ``repro lint`` surfaced)."""
+        srv = CacheServer(MemoryCache()).start()
+        try:
+            with pytest.raises(InvalidParameterError, match="already started"):
+                srv.start()
+        finally:
+            srv.stop()
+
     def test_scheme_less_urls_rejected_as_input_errors(self):
         # urlopen would raise a bare ValueError for these; they must
         # surface as ReproError input errors (CLI exit 2), not tracebacks

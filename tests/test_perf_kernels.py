@@ -426,6 +426,25 @@ class TestBatchedEnergyParity:
             schedule_energy(empty, np.ones(4), 2, sched.instance.power) == 0.0
         )
 
+    def test_stores_energy_matches_reference_loop(self):
+        """``stores_energy`` off the live ``IntervalLoads`` states ==
+        the historical per-column loop over the dense schedule, bit for
+        bit — the kernel/reference differential pair ``repro lint``
+        (RPR3xx) tracks by name."""
+        from repro.core.pd import PDScheduler
+        from repro.perf.energy import stores_energy
+        from repro.perf.reference import schedule_energy_reference
+
+        for family, n, m in FAMILIES:
+            inst = family(n, m=m, alpha=3.0, seed=11)
+            sched = PDScheduler(m=m, alpha=3.0)
+            for job in inst.sorted_by_release().jobs:
+                sched.arrive(job)
+            live = stores_energy(
+                sched._states, sched._grid.lengths, sched.m, sched.power
+            )
+            assert live == schedule_energy_reference(sched.finish().schedule)
+
     def test_streaming_stores_match_dense_finish(self):
         """PDScheduler.streaming_* off the live stores == the dense
         Schedule's cached properties, bit for bit."""

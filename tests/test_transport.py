@@ -95,6 +95,44 @@ class TestWire:
         assert wire[0] == "pickle"
         assert tr.decode_wire(wire) == PAYLOAD
 
+    def test_shm_failure_after_create_releases_segment(self, monkeypatch):
+        """If the segment is created but the write into it fails, encode
+        must close *and* unlink it before degrading to the pickle wire —
+        otherwise every degraded call leaks a ``/dev/shm`` file for the
+        lifetime of the worker (the RPR4xx resource-balance contract)."""
+        if not tr.shm_available():
+            pytest.skip("no shared memory on this host")
+        import multiprocessing.shared_memory as shm_mod
+
+        real = shm_mod.SharedMemory
+        events: list[str] = []
+
+        class FailsOnWrite:
+            def __init__(self, *args, **kwargs):
+                self._shm = real(*args, **kwargs)
+
+            @property
+            def buf(self):
+                raise BufferError("simulated write failure")
+
+            @property
+            def name(self):
+                return self._shm.name
+
+            def close(self):
+                events.append("close")
+                self._shm.close()
+
+            def unlink(self):
+                events.append("unlink")
+                self._shm.unlink()
+
+        monkeypatch.setattr(shm_mod, "SharedMemory", FailsOnWrite)
+        wire = tr.encode_payload(PAYLOAD, "shm")
+        assert wire == ("pickle", PAYLOAD)
+        assert events == ["close", "unlink"]
+        assert tr.decode_wire(wire) == PAYLOAD
+
     def test_decode_rejects_unknown_kind(self):
         with pytest.raises(InvalidParameterError, match="wire kind"):
             tr.decode_wire(("carrier-pigeon", "x"))
