@@ -39,7 +39,12 @@ from .cache import (
     backend_stats,
     open_cache,
 )
-from .remote import HttpCache, HttpClaimTable
+from .remote import (
+    HttpCache,
+    HttpClaimTable,
+    HttpConnectionPool,
+    RetryPolicy,
+)
 from .experiment import (
     ExperimentCell,
     ExperimentSpec,
@@ -88,6 +93,8 @@ __all__ = [
     "TieredCache",
     "HttpCache",
     "HttpClaimTable",
+    "HttpConnectionPool",
+    "RetryPolicy",
     "backend_stats",
     "open_cache",
     "BatchRunner",

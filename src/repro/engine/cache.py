@@ -40,6 +40,7 @@ import math
 import os
 import sqlite3
 import tempfile
+import threading
 import time
 from collections import OrderedDict
 from pathlib import Path
@@ -117,6 +118,12 @@ class CacheBackend(Protocol):
 
 class DirectoryCache:
     """A directory of content-addressed JSON payloads (one file each)."""
+
+    #: Concurrent callers are safe: every write is an atomic rename of
+    #: immutable content, every read a single-file parse — the striped
+    #: :class:`~repro.io.server.CacheServer` may serve this backend
+    #: from parallel handler threads.
+    thread_safe = True
 
     def __init__(self, directory: str | Path) -> None:
         self.directory = Path(directory)
@@ -330,6 +337,11 @@ class SqliteCache:
     way.
     """
 
+    #: One shared connection, no internal mutex: a serving layer must
+    #: keep serializing calls (the striped server collapses to a single
+    #: stripe over this backend).
+    thread_safe = False
+
     #: Bounded backoff for writes that lose the WAL lock race: attempt
     #: ``i`` sleeps ``_BUSY_BASE_DELAY * 2**i`` seconds before retrying,
     #: ~0.6 s in total before the error is surfaced for real.
@@ -535,7 +547,16 @@ class MemoryCache:
     refreshes recency, and the stalest entry is dropped when the bound
     is exceeded. Entries also remember their insertion time, so
     ``gc(older_than)`` works like the durable backends'.
+
+    A small internal mutex makes every operation atomic under
+    concurrent callers — LRU bookkeeping (``move_to_end`` racing a
+    ``popitem``) is the kind of compound mutation the GIL alone does
+    not protect — so the striped :class:`~repro.io.server.CacheServer`
+    can serve this backend from parallel handler threads.
     """
+
+    #: See the class docstring: all compound mutations are mutex-atomic.
+    thread_safe = True
 
     def __init__(self, max_entries: int | None = 1024) -> None:
         if max_entries is not None and (
@@ -545,56 +566,61 @@ class MemoryCache:
                 f"max_entries must be an int >= 1 or None, got {max_entries!r}"
             )
         self.max_entries = max_entries
+        self._lock = threading.Lock()
         # key -> (created_at, wall_time | None, payload text)
         self._entries: OrderedDict[str, tuple[float, float | None, str]] = (
             OrderedDict()
         )
 
     def get(self, key: str) -> dict[str, Any] | None:
-        entry = self._entries.get(key)
-        if entry is None:
-            return None
-        self._entries.move_to_end(key)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            self._entries.move_to_end(key)
         return json.loads(entry[2])
 
     def put(self, key: str, payload: dict[str, Any]) -> None:
-        self._entries[key] = (
-            time.time(),
-            _finite_timing(payload),
-            json.dumps(payload),
-        )
-        self._entries.move_to_end(key)
-        if self.max_entries is not None:
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+        created = time.time()
+        timing = _finite_timing(payload)
+        text = json.dumps(payload)
+        with self._lock:
+            self._entries[key] = (created, timing, text)
+            self._entries.move_to_end(key)
+            if self.max_entries is not None:
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
 
     def get_timing(self, key: str) -> float | None:
         """The entry's ``wall_time`` without a payload parse (no recency
         bump: cost estimation is a scan, not a use)."""
-        entry = self._entries.get(key)
+        with self._lock:
+            entry = self._entries.get(key)
         return entry[1] if entry is not None else None
 
     def keys(self) -> Iterator[str]:
-        yield from list(self._entries)
+        with self._lock:
+            snapshot = list(self._entries)
+        yield from snapshot
 
     def stats(self) -> dict[str, Any]:
-        entries = self._entries
         bound = "unbounded" if self.max_entries is None else self.max_entries
+        with self._lock:
+            entries = list(self._entries.values())
         return {
             "backend": "memory",
             "location": f"lru({bound})",
             "entries": len(entries),
-            "total_bytes": sum(len(e[2]) for e in entries.values()),
-            "timed_entries": sum(
-                1 for e in entries.values() if e[1] is not None
-            ),
+            "total_bytes": sum(len(e[2]) for e in entries),
+            "timed_entries": sum(1 for e in entries if e[1] is not None),
         }
 
     def gc(self, older_than: float) -> int:
         cutoff = time.time() - float(older_than)
-        stale = [k for k, e in self._entries.items() if e[0] < cutoff]
-        for key in stale:
-            del self._entries[key]
+        with self._lock:
+            stale = [k for k, e in self._entries.items() if e[0] < cutoff]
+            for key in stale:
+                del self._entries[key]
         return len(stale)
 
     def close(self) -> None:
@@ -607,10 +633,12 @@ class MemoryCache:
         self.close()
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
 
 class TieredCache:
@@ -637,6 +665,13 @@ class TieredCache:
                     f"every tier must be a CacheBackend, got {tier!r}"
                 )
         self.tiers = tiers
+
+    @property
+    def thread_safe(self) -> bool:
+        """A stack is only as concurrent as its weakest tier."""
+        return all(
+            bool(getattr(tier, "thread_safe", False)) for tier in self.tiers
+        )
 
     def get(self, key: str) -> dict[str, Any] | None:
         for depth, tier in enumerate(self.tiers):

@@ -36,8 +36,10 @@ from __future__ import annotations
 
 import heapq
 import math
+import queue
 import threading
 import time
+from collections import deque
 from concurrent.futures import (
     FIRST_COMPLETED,
     ProcessPoolExecutor,
@@ -658,6 +660,87 @@ class RunnerStats:
         return self.computed + self.cache_hits + self.deduplicated
 
 
+#: Queue sentinel telling a :class:`_PutBatcher`'s drain thread to
+#: flush what it holds and exit.
+_FLUSH_STOP = object()
+
+
+class _PutBatcher:
+    """Background write-behind batcher for the stolen path's cache puts.
+
+    Computed payloads are handed to a daemon thread that groups them
+    into ``put_many`` calls, so the steal loop's claim/compute cycle
+    never blocks on cache-write round trips — the flush half of the
+    pipelined stolen sweep. Engaged only for backends exposing
+    ``put_many`` (the HTTP client, tiered stacks over it), where a
+    write is a network round trip worth hiding; local backends keep
+    their cheap synchronous writes and immediate-visibility semantics.
+
+    Batches flush at ``batch_size`` entries (default: the backend's
+    own ``batch_size``) or after ``max_delay`` seconds of quiet,
+    whichever comes first — a crashing worker therefore loses at most
+    a few tens of milliseconds of finished work to the shared cache,
+    and those cells' claim leases were already reported done by the
+    caller, so correctness never depends on the flush. ``close()``
+    drains the queue, joins the thread, and re-raises the first
+    backend error it swallowed (the remote put path is lenient by
+    contract, so normally there is none).
+    """
+
+    def __init__(
+        self,
+        cache: CacheBackend,
+        *,
+        batch_size: int | None = None,
+        max_delay: float = 0.05,
+    ) -> None:
+        self._cache = cache
+        if batch_size is None:
+            batch_size = max(1, int(getattr(cache, "batch_size", 32)))
+        self._batch_size = batch_size
+        self._max_delay = max_delay
+        self._queue: queue.Queue[Any] = queue.Queue()
+        self._failure: BaseException | None = None
+        self._thread = threading.Thread(target=self._drain, daemon=True)
+        self._thread.start()
+
+    def put(self, key: str, payload: dict[str, Any]) -> None:
+        """Enqueue one write; returns immediately."""
+        self._queue.put((key, payload))
+
+    def _flush(self, buffered: list[tuple[str, dict[str, Any]]]) -> None:
+        if not buffered:
+            return
+        try:
+            self._cache.put_many(dict(buffered))  # type: ignore[attr-defined]
+        except BaseException as exc:  # noqa: BLE001 - reported at close()
+            if self._failure is None:
+                self._failure = exc
+        buffered.clear()
+
+    def _drain(self) -> None:
+        buffered: list[tuple[str, dict[str, Any]]] = []
+        while True:
+            try:
+                item = self._queue.get(timeout=self._max_delay)
+            except queue.Empty:
+                self._flush(buffered)
+                continue
+            if item is _FLUSH_STOP:
+                self._flush(buffered)
+                return
+            buffered.append(item)
+            if len(buffered) >= self._batch_size:
+                self._flush(buffered)
+
+    def close(self) -> None:
+        """Flush everything queued, stop the thread, surface errors."""
+        self._queue.put(_FLUSH_STOP)
+        self._thread.join()
+        if self._failure is not None:
+            raise self._failure
+
+
 class BatchRunner:
     """Evaluates request grids, optionally in parallel and/or cached.
 
@@ -683,6 +766,15 @@ class BatchRunner:
         accordingly. Irrelevant for ``workers=1``. Records are
         byte-identical whichever transport carries them — see
         :mod:`repro.engine.transport`.
+    claim_batch:
+        Positions leased per claim round trip on the stolen path
+        (:meth:`iter_stolen`) — the ``k`` of the server's
+        ``claim_next?k=N``. ``None`` (default) picks ``workers`` for
+        pooled runs and 1 for serial ones (the finest stealing
+        granularity, the historical behavior). Larger batches amortize
+        claim latency against a remote table at the cost of coarser
+        stealing: a worker holds at most one batch beyond its pool
+        capacity.
     """
 
     def __init__(
@@ -691,12 +783,22 @@ class BatchRunner:
         workers: int = 1,
         cache: CacheBackend | str | Path | None = None,
         transport: str = "auto",
+        claim_batch: int | None = None,
     ) -> None:
         if not isinstance(workers, int) or workers < 1:
             raise InvalidParameterError(
                 f"workers must be an int >= 1, got {workers!r}"
             )
         self.workers = workers
+        if claim_batch is not None and (
+            not isinstance(claim_batch, int)
+            or isinstance(claim_batch, bool)
+            or claim_batch < 1
+        ):
+            raise InvalidParameterError(
+                f"claim_batch must be an int >= 1 or None, got {claim_batch!r}"
+            )
+        self.claim_batch = claim_batch
         if isinstance(cache, (str, Path)):
             cache = DirectoryCache(cache)
         elif cache is not None and not (
@@ -896,14 +998,20 @@ class BatchRunner:
         the queue drains into whoever is fastest *right now*, with no
         precomputed split and no cost model needed.
 
-        Per claimed cell: a cache probe first (hits stream back without
-        occupying a pool slot), then evaluation — serial for
-        ``workers=1`` (claiming one cell at a time, the finest stealing
-        granularity), otherwise on a process pool that keeps at most
-        ``workers`` cells in flight, claims free-slot-sized blocks, and
-        batch-probes each block through the cache's ``get_many`` when it
-        has one (claiming ahead of capacity would hoard cells a faster
-        worker should steal). In-batch deduplication does not apply —
+        Per claimed block: one claim round trip (``claim_batch``
+        positions — see the constructor), one batched cache probe
+        (hits stream back without occupying a pool slot), then
+        evaluation — serial for ``workers=1``, otherwise on a process
+        pool that keeps at most ``workers`` cells in flight. The
+        pooled loop is *pipelined*: while futures compute, the next
+        claim batch is already being leased and probed (the worker
+        processes run independently, so those round trips overlap
+        compute instead of serializing with it), and completed
+        payloads flush to the cache through a background ``put_many``
+        batcher when the backend has one. A worker therefore holds at
+        most one claim batch beyond its pool capacity — bounded
+        hoarding, traded for claim traffic that scales with batches
+        instead of cells. In-batch deduplication does not apply —
         positions are claimed individually — but a shared cache gives
         duplicate cells across workers one computation in practice.
 
@@ -981,134 +1089,174 @@ class BatchRunner:
             request = requests[position]
             return request, request_key(request.algorithm, request.instance)
 
-        def hit(key: str) -> dict[str, Any] | None:
-            if self.cache is None:
-                return None
-            return self.cache.get(key)
+        # Write-behind batcher: computed payloads flush to the cache on
+        # a background thread through put_many, so the steal loop never
+        # blocks on a cache-write round trip. Backends without put_many
+        # (local disk, memory) keep synchronous writes — they are cheap
+        # and their immediate visibility is part of their contract.
+        flusher = (
+            _PutBatcher(self.cache)
+            if self.cache is not None and hasattr(self.cache, "put_many")
+            else None
+        )
 
         def fresh(
             position: int, key: str, payload: dict[str, Any]
         ) -> tuple[int, RunRecord]:
             self.stats.computed += 1
-            if self.cache is not None:
+            if flusher is not None:
+                flusher.put(key, payload)
+            elif self.cache is not None:
                 self.cache.put(key, payload)
             return position, _record_from_payload(
                 payload, key=key, cached=False, tag=requests[position].tag
             )
 
-        if self.workers == 1:
-            while True:
-                claimed, status = claim_new(1)
-                if status == "drained":
-                    return
-                if status == "waiting":
-                    time.sleep(poll)
-                    continue
-                for position in claimed:
-                    request, key = resolve(position)
-                    seen.add(position)
-                    payload = hit(key)
-                    if payload is not None:
-                        self.stats.cache_hits += 1
-                        record = _record_from_payload(
-                            payload, key=key, cached=True, tag=request.tag
-                        )
-                    else:
-                        _, record = fresh(
-                            position, key, evaluate_request(request)
-                        )
-                    completed.add(position)
-                    if report is not None:
-                        report([position])
-                    yield position, record
+        def claim_block(count: int) -> tuple[
+            list[tuple[int, RunRequest, str, dict[str, Any] | None]], str
+        ]:
+            """One pipeline stage: claim a block, batch-probe the cache.
 
-        transport = resolve_transport(self.transport)
-        pool = ProcessPoolExecutor(max_workers=self.workers)
-        in_flight: dict[Any, tuple[int, str]] = {}
-        drained = False
-        try:
-            while True:
-                # Top up to `workers` cells in flight; cache hits stream
-                # straight through without consuming a slot. Claiming a
-                # free-slot-sized block (instead of one cell at a time)
-                # lets the cache probe batch over it — one get_many
-                # round trip per block against a remote backend — while
-                # still never hoarding more cells than this worker can
-                # process right now.
-                waiting = False
-                while not drained and len(in_flight) < self.workers:
-                    claimed, status = claim_new(
-                        self.workers - len(in_flight)
-                    )
+            Returns ``(staged, status)`` where each staged element is
+            ``(position, request, key, hit_payload_or_None)``. Hits are
+            done-reported here, one round trip per block, so their
+            leases clear as soon as they are known good.
+            """
+            claimed, status = claim_new(count)
+            if status != "ok":
+                return [], status
+            resolved = [resolve(position) for position in claimed]
+            seen.update(claimed)
+            hits = (
+                dict(self._probe_cache([key for _, key in resolved]))
+                if self.cache is not None
+                else {}
+            )
+            hit_positions = [
+                position
+                for position, (_, key) in zip(claimed, resolved)
+                if key in hits
+            ]
+            if hit_positions:
+                completed.update(hit_positions)
+                if report is not None:
+                    report(hit_positions)
+            return [
+                (position, request, key, hits.get(key))
+                for position, (request, key) in zip(claimed, resolved)
+            ], "ok"
+
+        if self.workers == 1:
+            # Serial path: claim_batch defaults to 1 — the finest
+            # stealing granularity — but honors an explicit batch, which
+            # turns N claim round trips and N probes into one of each.
+            batch = self.claim_batch or 1
+            try:
+                while True:
+                    staged, status = claim_block(batch)
                     if status == "drained":
-                        drained = True
-                        break
+                        return
                     if status == "waiting":
-                        # Other workers hold live leases; cells may yet
-                        # flow back. Keep harvesting (or idle-poll below)
-                        # instead of exiting — the crash-recovery
-                        # guarantee needs a claimer alive at expiry.
-                        waiting = True
-                        break
-                    resolved = [resolve(position) for position in claimed]
-                    seen.update(claimed)
-                    hits = (
-                        dict(
-                            self._probe_cache([key for _, key in resolved])
-                        )
-                        if self.cache is not None
-                        else {}
-                    )
-                    hit_positions = [
-                        position
-                        for position, (_, key) in zip(claimed, resolved)
-                        if key in hits
-                    ]
-                    if hit_positions:
-                        # One done round trip per claim block, mirroring
-                        # the batched claim/probe design.
-                        completed.update(hit_positions)
-                        if report is not None:
-                            report(hit_positions)
-                    for position, (request, key) in zip(claimed, resolved):
-                        payload = hits.get(key)
+                        time.sleep(poll)
+                        continue
+                    for position, request, key, payload in staged:
                         if payload is not None:
                             self.stats.cache_hits += 1
-                            yield position, _record_from_payload(
+                            record = _record_from_payload(
                                 payload, key=key, cached=True, tag=request.tag
                             )
                         else:
-                            future = pool.submit(
-                                evaluate_request_wire, request, transport
+                            _, record = fresh(
+                                position, key, evaluate_request(request)
                             )
-                            in_flight[future] = (position, key)
-                if not in_flight:
-                    if drained:
-                        return
-                    if waiting:
-                        time.sleep(poll)
+                            completed.add(position)
+                            if report is not None:
+                                report([position])
+                        yield position, record
+            finally:
+                if flusher is not None:
+                    flusher.close()
+
+        batch = self.claim_batch or self.workers
+        transport = resolve_transport(self.transport)
+        pool = ProcessPoolExecutor(max_workers=self.workers)
+        in_flight: dict[Any, tuple[int, str]] = {}
+        ready: deque[tuple[int, RunRequest, str, dict[str, Any] | None]] = (
+            deque()
+        )
+        drained = False
+        try:
+            while True:
+                waiting = False
+                # Drain the staged queue: hits stream straight out
+                # without occupying a slot, misses fill free slots.
+                while ready:
+                    position, request, key, payload = ready[0]
+                    if payload is not None:
+                        ready.popleft()
+                        self.stats.cache_hits += 1
+                        yield position, _record_from_payload(
+                            payload, key=key, cached=True, tag=request.tag
+                        )
+                    elif len(in_flight) < self.workers:
+                        ready.popleft()
+                        future = pool.submit(
+                            evaluate_request_wire, request, transport
+                        )
+                        in_flight[future] = (position, key)
+                    else:
+                        break
+                # Prefetch: with nothing staged, claim+probe the next
+                # block *now* — while the pool is computing — so the
+                # next free slot finds work already staged instead of
+                # waiting out a claim and a probe round trip. Bounded
+                # hoarding: never more than one batch beyond capacity.
+                if not drained and not ready:
+                    staged, status = claim_block(batch)
+                    if status == "drained":
+                        drained = True
+                    elif status == "waiting":
+                        # Other workers hold live leases; cells may yet
+                        # flow back. Keep harvesting (or idle-poll
+                        # below) instead of exiting — the crash-recovery
+                        # guarantee needs a claimer alive at expiry.
+                        waiting = True
+                    elif staged:
+                        ready.extend(staged)
                         continue
+                if in_flight:
+                    done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+                    pairs = []
+                    for future in done:
+                        position, key = in_flight.pop(future)
+                        pairs.append(
+                            fresh(position, key, decode_wire(future.result()))
+                        )
+                        completed.add(position)
+                    if report is not None:
+                        # One done round trip per harvest, not per cell.
+                        report([position for position, _ in pairs])
+                    for pair in pairs:
+                        yield pair
+                    continue
+                if ready:
+                    continue
+                if drained:
                     return
-                done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
-                pairs = []
-                for future in done:
-                    position, key = in_flight.pop(future)
-                    pairs.append(
-                        fresh(position, key, decode_wire(future.result()))
-                    )
-                    completed.add(position)
-                if report is not None:
-                    # One done round trip per harvest, not per cell.
-                    report([position for position, _ in pairs])
-                for pair in pairs:
-                    yield pair
+                if waiting:
+                    time.sleep(poll)
+                    continue
+                return
         finally:
             # Reached on exhaustion, on a worker exception, and on
             # GeneratorExit: cancel queued cells instead of silently
             # computing-and-discarding. Unstarted claimed cells are
             # lost to this claim session — the merge step detects the
-            # hole loudly rather than re-issuing positions.
+            # hole loudly rather than re-issuing positions. The flush
+            # batcher drains after the pool stops feeding it.
             pool.shutdown(wait=False, cancel_futures=True)
+            if flusher is not None:
+                flusher.close()
 
     def run_stolen(
         self,

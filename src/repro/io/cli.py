@@ -298,6 +298,19 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     swp.add_argument(
+        "--claim-batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "positions leased per claim round trip for --shard-strategy "
+            "steal (the server's claim_next?k=N). Default: --workers for "
+            "pooled runs, 1 for serial. Larger batches amortize claim "
+            "latency against a remote table at the cost of coarser "
+            "stealing"
+        ),
+    )
+    swp.add_argument(
         "--claim-session",
         default="",
         metavar="LABEL",
@@ -343,6 +356,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     srv.add_argument(
         "--verbose", action="store_true", help="log every request to stderr"
+    )
+    srv.add_argument(
+        "--stripes",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "record-lock stripes (default: 16 for thread-safe backends "
+            "like dir/memory, 1 for sqlite — which must stay serialized)"
+        ),
     )
 
     bch = sub.add_parser(
@@ -746,7 +769,11 @@ def _cmd_cache_serve(args: argparse.Namespace) -> int:
 
     cache = open_cache(args.path, args.backend)
     server = CacheServer(
-        cache, host=args.host, port=args.port, verbose=args.verbose
+        cache,
+        host=args.host,
+        port=args.port,
+        verbose=args.verbose,
+        stripes=args.stripes,
     )
     host, port = server.address
     print(
@@ -1203,6 +1230,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "--lease-ttl only applies to --shard-strategy steal (claim "
             "leases live on the server's claim table)"
         )
+    if args.claim_batch is not None and args.shard_strategy != "steal":
+        raise InvalidParameterError(
+            "--claim-batch only applies to --shard-strategy steal "
+            "(static shards have no claim round trips to batch)"
+        )
     if args.shard_strategy == "steal":
         if args.cache_url is None:
             raise InvalidParameterError(
@@ -1220,7 +1252,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         args.cache_url,
         allow_bare_url=args.shard_strategy == "steal",
     )
-    runner = BatchRunner(workers=args.workers, cache=cache)
+    runner = BatchRunner(
+        workers=args.workers, cache=cache, claim_batch=args.claim_batch
+    )
     progress = _progress_printer(args)
 
     try:
@@ -1257,9 +1291,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                     len(requests),
                     lease_ttl=args.lease_ttl,
                 )
-                pairs = runner.run_stolen(
-                    requests, claims, on_record=progress
-                )
+                try:
+                    pairs = runner.run_stolen(
+                        requests, claims, on_record=progress
+                    )
+                finally:
+                    claims.close()
                 positions = [position for position, _ in pairs]
                 records = [record for _, record in pairs]
                 # The claim session's server-minted token plays the

@@ -17,47 +17,194 @@ Wire protocol (Python-dialect JSON — ``NaN`` literals allowed):
 | ``GET /timings``         | —                               | 200 ``{"timings": {key: seconds}}`` (all timed entries) |
 | ``POST /timings``        | ``{"keys": [keys]}``            | 200 ``{"timings": {...}}`` (subset) |
 | ``GET /keys``            | —                               | 200 ``{"keys": [...]}`` |
-| ``GET /stats``           | —                               | 200 backend stats + ``claim_tables`` |
+| ``GET /stats``           | —                               | 200 lock-free fabric snapshot (never touches the backend) |
+| ``GET /stats?deep=1``    | —                               | 200 full backend stats + ``claim_tables`` |
 | ``POST /gc``             | ``{"older_than": seconds}``     | 200 ``{"removed": n}``, or 501 |
 | ``POST /claims/<id>``    | ``{"total": n, "lease": ttl?}`` | 200 ``{"token", "total", "claimed", "lease_ttl"}``, 409 on total/lease mismatch |
-| ``POST /claims/<id>/next`` | ``{"count": c}``              | 200 ``{"positions": [...], "token", "remaining"}`` |
+| ``POST /claims/<id>/next?k=N`` | ``{"count": c}``          | 200 ``{"positions": [...], "token", "remaining", "outstanding"}`` |
 | ``POST /claims/<id>/done`` | ``{"positions": [...]}``      | 200 ``{"token", "done"}`` |
+
+Compression (RFC-7694-style negotiation, either end may be old): every
+response carries ``Accept-Encoding: deflate`` — the server's standing
+offer to accept zlib-deflated *request* bodies. Requests whose
+``Accept-Encoding`` includes ``deflate`` get large response bodies
+deflated back (``Content-Encoding: deflate``); everyone else gets
+identity. A deflated request body that does not inflate is a 400.
 
 Claim tables implement work stealing: a table is created idempotently
 under a content-derived id (the experiment fingerprint), hands out
 positions ``0..total-1`` in order, at most once each, and remembers a
 server-minted session ``token`` that every cooperating worker stamps
 into its shard file — the merge step's proof that the shards partition
-one claim session. With a ``lease`` TTL (seconds) the table reissues a
-claimed position whose ``done`` report never arrives within the TTL,
-so one crashed worker cannot strand tail cells; workers of one session
-must agree on the lease policy (mismatch is a 409, like a total
-mismatch).
+one claim session. ``?k=N`` (equivalently ``{"count": N}``) leases up
+to N positions in one round trip. With a ``lease`` TTL (seconds) the
+table reissues a claimed position whose ``done`` report never arrives
+within the TTL, so one crashed worker cannot strand tail cells;
+workers of one session must agree on the lease policy (mismatch is a
+409, like a total mismatch).
 
-Every backend call is serialized behind one lock: handler threads never
-touch the backend concurrently, which is what lets a single sqlite
-connection (or an unsynchronized ``MemoryCache``) serve safely. Claim
-handouts are atomic behind their *own* lock — claim state never touches
-the backend, so a slow disk draining bulk record writes cannot stall
-the strict (timeout-bounded) claim traffic.
+Locking, three independent planes:
+
+* **record traffic** is striped: each key hashes (crc32) onto one of N
+  mutexes, so concurrent handler threads touch *different* keys in
+  parallel and only same-stripe traffic serializes. Full-scan routes
+  (``keys``, ``GET /timings``, ``gc``, deep stats) take every stripe
+  in index order — a deadlock-free global write barrier. Striping is
+  only enabled for backends that declare ``thread_safe = True``;
+  anything else (a single sqlite connection) collapses to one stripe,
+  which is exactly the old global-lock behavior.
+* **claim state** is pure in-memory behind its own mutex: a slow disk
+  draining bulk record writes cannot stall claim handouts past the
+  workers' strict timeout (claim faults abort workers by design).
+* **``GET /stats``** is lock-free: served from plain counters
+  (:class:`FabricStats`) that record routes bump as they go, so
+  monitoring a busy server never queues behind record traffic — the
+  old single-lock design made a dashboard poll stall the claim path.
 """
 
 from __future__ import annotations
 
 import json
+import socket
 import sys
 import threading
 import urllib.parse
 import uuid
+import zlib
+from contextlib import contextmanager
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Sequence
+from typing import Any, Iterator, Sequence
 
 from ..engine.cache import CacheBackend, backend_stats
+from ..engine.remote import COMPRESS_MIN_BYTES
 from ..engine.runner import InProcessClaimTable
 from ..errors import InvalidParameterError, ReproError
 
-__all__ = ["CacheServer"]
+__all__ = ["CacheServer", "FabricStats"]
+
+#: Default record-lock stripe count for thread-safe backends. Eight
+#: handler threads hashing uniformly across 16 mutexes collide rarely;
+#: more stripes buy nothing at sweep-worker fan-in levels.
+DEFAULT_STRIPES = 16
+
+_DEFLATE = "deflate"
+
+
+class FabricStats:
+    """Lock-free fabric counters behind the fast ``GET /stats``.
+
+    Plain integer attributes bumped without any mutex: CPython
+    attribute increments on ints are GIL-atomic enough for monitoring
+    (a preempted increment can lose a count, never corrupt one), and
+    the payoff is that the monitoring path never blocks behind record
+    traffic. ``entries`` tracks the backend's live entry count exactly
+    for append-only backends (seeded from one startup walk, bumped on
+    first-time puts, decremented by gc); a bounded LRU evicting behind
+    the server's back drifts it — ``/stats?deep=1`` resyncs from the
+    authoritative backend walk.
+    """
+
+    __slots__ = (
+        "requests",
+        "record_gets",
+        "record_hits",
+        "record_puts",
+        "new_records",
+        "batch_requests",
+        "claim_requests",
+        "deflate_bodies_in",
+        "deflate_bodies_out",
+        "entries",
+    )
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.record_gets = 0
+        self.record_hits = 0
+        self.record_puts = 0
+        self.new_records = 0
+        self.batch_requests = 0
+        self.claim_requests = 0
+        self.deflate_bodies_in = 0
+        self.deflate_bodies_out = 0
+        self.entries = 0
+
+    # -- bumps (called from handler threads, no locks) ------------------
+    def note_request(self) -> None:
+        self.requests += 1
+
+    def note_get(self, *, hit: bool) -> None:
+        self.record_gets += 1
+        if hit:
+            self.record_hits += 1
+
+    def note_put(self, *, new: bool) -> None:
+        self.record_puts += 1
+        if new:
+            self.new_records += 1
+            self.entries += 1
+
+    def note_batch(self) -> None:
+        self.batch_requests += 1
+
+    def note_claim(self) -> None:
+        self.claim_requests += 1
+
+    def note_deflate_in(self) -> None:
+        self.deflate_bodies_in += 1
+
+    def note_deflate_out(self) -> None:
+        self.deflate_bodies_out += 1
+
+    def note_removed(self, count: int) -> None:
+        self.entries = max(0, self.entries - count)
+
+    def resync_entries(self, count: int) -> None:
+        self.entries = count
+
+    def snapshot(self) -> dict[str, int]:
+        """One monitoring sample (a plain dict — no backend touched)."""
+        return {
+            "requests": self.requests,
+            "record_gets": self.record_gets,
+            "record_hits": self.record_hits,
+            "record_puts": self.record_puts,
+            "new_records": self.new_records,
+            "batch_requests": self.batch_requests,
+            "claim_requests": self.claim_requests,
+            "deflate_bodies_in": self.deflate_bodies_in,
+            "deflate_bodies_out": self.deflate_bodies_out,
+        }
+
+
+class _LockStripes:
+    """N mutexes fronting the record routes; keys hash onto stripes.
+
+    ``for_key`` serializes same-key (well, same-stripe) traffic only;
+    ``all_stripes`` takes every mutex in index order — every holder
+    acquires in the same order, so the global barrier cannot deadlock
+    against per-key holders.
+    """
+
+    def __init__(self, count: int) -> None:
+        self._locks = [threading.Lock() for _ in range(count)]
+
+    def __len__(self) -> int:
+        return len(self._locks)
+
+    def for_key(self, key: str) -> threading.Lock:
+        return self._locks[zlib.crc32(key.encode("utf-8")) % len(self._locks)]
+
+    @contextmanager
+    def all_stripes(self) -> Iterator[None]:
+        for lock in self._locks:
+            lock.acquire()
+        try:
+            yield
+        finally:
+            for lock in reversed(self._locks):
+                lock.release()
 
 
 @dataclass
@@ -95,6 +242,13 @@ class CacheServer:
     thread (tests, embedding); :meth:`serve_forever` serves on the
     calling thread (the CLI). Neither closes the backend — its owner
     does.
+
+    ``stripes`` sets the record-lock stripe count; the default is
+    :data:`DEFAULT_STRIPES` for backends declaring ``thread_safe =
+    True`` and 1 (the old fully-serialized behavior) otherwise.
+    Asking for more than one stripe over a backend that is not
+    thread-safe is refused — striping would hand its unsynchronized
+    internals to concurrent handler threads.
     """
 
     def __init__(
@@ -104,9 +258,36 @@ class CacheServer:
         port: int = 0,
         *,
         verbose: bool = False,
+        stripes: int | None = None,
     ) -> None:
         self.cache = cache
         self.verbose = verbose
+        concurrent = bool(getattr(cache, "thread_safe", False))
+        if stripes is None:
+            stripes = DEFAULT_STRIPES if concurrent else 1
+        if not isinstance(stripes, int) or isinstance(stripes, bool) or stripes < 1:
+            raise InvalidParameterError(
+                f"stripes must be an int >= 1, got {stripes!r}"
+            )
+        if stripes > 1 and not concurrent:
+            raise InvalidParameterError(
+                f"backend {type(cache).__name__} does not declare "
+                "thread_safe = True; it must be served with stripes=1 "
+                "(concurrent handler threads would corrupt it)"
+            )
+        self._records = _LockStripes(stripes)
+        self.stats_counters = FabricStats()
+        # One startup walk pins the backend's identity and seeds the
+        # live entry counter, so the fast /stats never needs another.
+        identity = dict(backend_stats(cache))
+        self._backend_name = str(identity.get("backend", type(cache).__name__))
+        self._backend_location = identity.get("location")
+        seeded = identity.get("entries")
+        self.stats_counters.resync_entries(
+            seeded if isinstance(seeded, int) else 0
+        )
+        # Lifecycle lock: guards only the serve-thread handle now that
+        # record traffic rides the stripes.
         self._lock = threading.RLock()
         # Claim state is pure in-memory and never touches the backend,
         # so it gets its own lock: a slow disk draining bulk record
@@ -114,6 +295,11 @@ class CacheServer:
         # timeout (claim faults abort workers by design).
         self._claims_lock = threading.Lock()
         self._claims: dict[str, _ClaimState] = {}
+        # Live client sockets, registered by handler setup/finish: with
+        # keep-alive transport, stop() must actively sever parked
+        # connections — handler threads otherwise sit in readline on
+        # warm sockets and keep serving a "stopped" server.
+        self._connections: set[socket.socket] = set()
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         self._httpd.fabric = self  # type: ignore[attr-defined]
@@ -152,6 +338,17 @@ class CacheServer:
 
     def stop(self) -> None:
         self._httpd.shutdown()
+        # Sever live keep-alive connections: clients must see a real
+        # disconnect (their pools redial and find the port closed),
+        # exactly as if the server process had died.
+        with self._lock:
+            live = list(self._connections)
+            self._connections.clear()
+        for conn in live:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass  # already closing on its own
         with self._lock:
             thread, self._thread = self._thread, None
         if thread is not None:
@@ -160,55 +357,103 @@ class CacheServer:
             thread.join(timeout=5.0)
         self._httpd.server_close()
 
-    # -- backend operations (all serialized behind the lock) ------------
-    def get_record(self, key: str) -> dict[str, Any] | None:
+    def _track(self, conn: socket.socket) -> None:
         with self._lock:
-            return self.cache.get(key)
+            self._connections.add(conn)
+
+    def _untrack(self, conn: socket.socket) -> None:
+        with self._lock:
+            self._connections.discard(conn)
+
+    # -- backend operations (striped per-key locks) ---------------------
+    def get_record(self, key: str) -> dict[str, Any] | None:
+        with self._records.for_key(key):
+            payload = self.cache.get(key)
+        self.stats_counters.note_get(hit=payload is not None)
+        return payload
 
     def put_record(self, key: str, payload: dict[str, Any]) -> None:
-        with self._lock:
+        with self._records.for_key(key):
+            fresh = key not in self.cache
             self.cache.put(key, payload)
+        self.stats_counters.note_put(new=fresh)
 
     def batch(
         self, gets: Sequence[str], puts: dict[str, dict[str, Any]]
     ) -> dict[str, Any]:
-        with self._lock:
-            for key, payload in puts.items():
-                self.cache.put(key, payload)
-            records = {}
-            for key in gets:
-                payload = self.cache.get(key)
-                if payload is not None:
-                    records[key] = payload
+        # Per-key locking, not one barrier: records are immutable and
+        # content-addressed, so a batch needs no cross-key atomicity —
+        # two batches interleaving key-by-key still each read either
+        # a miss or the one true payload.
+        self.stats_counters.note_batch()
+        for key, payload in puts.items():
+            self.put_record(key, payload)
+        records = {}
+        for key in gets:
+            payload = self.get_record(key)
+            if payload is not None:
+                records[key] = payload
         return {"records": records, "stored": len(puts)}
 
     def timings(self, keys: Sequence[str] | None) -> dict[str, float]:
-        with self._lock:
-            probe = getattr(self.cache, "get_timing", None)
-            if keys is None:
-                keys = list(self.cache.keys())
-            out: dict[str, float] = {}
-            for key in keys:
-                if probe is not None:
-                    timing = probe(key)
-                else:
-                    payload = self.cache.get(key)
-                    timing = (
-                        payload.get("wall_time") if payload is not None else None
-                    )
-                if isinstance(timing, (int, float)):
-                    out[str(key)] = float(timing)
+        if keys is None:
+            # Full scan (and DirectoryCache may backfill sidecars as it
+            # probes): take the global barrier like every scan route.
+            with self._records.all_stripes():
+                return self._timings_locked(list(self.cache.keys()))
+        out: dict[str, float] = {}
+        for key in keys:
+            with self._records.for_key(key):
+                out.update(self._timings_locked([key]))
+        return out
+
+    def _timings_locked(self, keys: Sequence[str]) -> dict[str, float]:
+        probe = getattr(self.cache, "get_timing", None)
+        out: dict[str, float] = {}
+        for key in keys:
+            if probe is not None:
+                timing = probe(key)
+            else:
+                payload = self.cache.get(key)
+                timing = (
+                    payload.get("wall_time") if payload is not None else None
+                )
+            if isinstance(timing, (int, float)):
+                out[str(key)] = float(timing)
         return out
 
     def list_keys(self) -> list[str]:
-        with self._lock:
+        with self._records.all_stripes():
             return sorted(self.cache.keys())
 
+    def stats_fast(self) -> dict[str, Any]:
+        """The lock-free monitoring snapshot: live counters plus the
+        identity pinned at startup. Never touches the backend, never
+        waits on record traffic — safe to poll against a busy server.
+        ``len(self._claims)`` is read without the claims lock: a dict
+        length is GIL-consistent, and monitoring tolerates being one
+        table off mid-create."""
+        return {
+            "backend": self._backend_name,
+            "location": self._backend_location,
+            "entries": self.stats_counters.entries,
+            "claim_tables": len(self._claims),
+            "deep": False,
+            "fabric": self.stats_counters.snapshot(),
+        }
+
     def stats(self) -> dict[str, Any]:
-        with self._lock:
+        """The authoritative deep walk (``/stats?deep=1``): full
+        backend stats under the global barrier, resyncing the live
+        entry counter while it holds the truth."""
+        with self._records.all_stripes():
             out = dict(backend_stats(self.cache))
-        with self._claims_lock:
-            out["claim_tables"] = len(self._claims)
+        entries = out.get("entries")
+        if isinstance(entries, int):
+            self.stats_counters.resync_entries(entries)
+        out["claim_tables"] = len(self._claims)
+        out["deep"] = True
+        out["fabric"] = self.stats_counters.snapshot()
         return out
 
     def gc(self, older_than: float) -> int:
@@ -217,8 +462,10 @@ class CacheServer:
             raise _HttpStatus(
                 501, f"backend {type(self.cache).__name__} does not support gc"
             )
-        with self._lock:
-            return int(collect(older_than))
+        with self._records.all_stripes():
+            removed = int(collect(older_than))
+        self.stats_counters.note_removed(removed)
+        return removed
 
     # -- claim tables ---------------------------------------------------
     def _claim_state(self, claim_id: str) -> _ClaimState:
@@ -263,6 +510,7 @@ class CacheServer:
             }
 
     def claim_next(self, claim_id: str, count: int) -> dict[str, Any]:
+        self.stats_counters.note_claim()
         with self._claims_lock:
             state = self._claim_state(claim_id)
             positions = state.table.claim(count)
@@ -299,9 +547,27 @@ class _Handler(BaseHTTPRequestHandler):
     server_version = "repro-cache/1"
     protocol_version = "HTTP/1.1"
 
+    #: Idle keep-alive cutoff: a handler thread parked in readline for
+    #: this long closes its connection and exits instead of leaking.
+    #: Client pools treat the severed socket as stale and redial.
+    timeout = 60.0
+
+    #: Headers and body go out as separate segments; with Nagle on,
+    #: the body waits ~40ms for the headers' delayed ACK on every
+    #: keep-alive request. TCP_NODELAY is what makes pooling pay off.
+    disable_nagle_algorithm = True
+
     @property
     def fabric(self) -> CacheServer:
         return self.server.fabric  # type: ignore[attr-defined]
+
+    def setup(self) -> None:
+        super().setup()
+        self.fabric._track(self.connection)
+
+    def finish(self) -> None:
+        self.fabric._untrack(self.connection)
+        super().finish()
 
     # -- plumbing -------------------------------------------------------
     def log_message(self, format: str, *args: Any) -> None:
@@ -318,6 +584,13 @@ class _Handler(BaseHTTPRequestHandler):
             for part in path.split("/")
             if part
         ]
+
+    def _query(self) -> dict[str, str]:
+        query = urllib.parse.urlparse(self.path).query
+        return {
+            key: values[-1]
+            for key, values in urllib.parse.parse_qs(query).items()
+        }
 
     @staticmethod
     def _safe_name(name: str, what: str) -> str:
@@ -344,6 +617,19 @@ class _Handler(BaseHTTPRequestHandler):
         raw = self.rfile.read(length) if length > 0 else b""
         if not raw:
             return None
+        encoding = (self.headers.get("Content-Encoding") or "").strip().lower()
+        if encoding == _DEFLATE:
+            self.fabric.stats_counters.note_deflate_in()
+            try:
+                raw = zlib.decompress(raw)
+            except zlib.error:
+                raise _HttpStatus(
+                    400, "deflate request body does not inflate"
+                ) from None
+        elif encoding and encoding != "identity":
+            raise _HttpStatus(
+                415, f"unsupported Content-Encoding {encoding!r}"
+            )
         try:
             return json.loads(raw)
         except json.JSONDecodeError:
@@ -351,14 +637,31 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _reply(self, status: int, payload: Any | None = None) -> None:
         body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        headers = [("Content-Type", "application/json")]
+        accepted = (self.headers.get("Accept-Encoding") or "").lower()
+        if (
+            body
+            and 200 <= status < 300
+            and _DEFLATE in accepted
+            and len(body) >= COMPRESS_MIN_BYTES
+        ):
+            body = zlib.compress(body)
+            headers.append(("Content-Encoding", _DEFLATE))
+            self.fabric.stats_counters.note_deflate_out()
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        for name, value in headers:
+            self.send_header(name, value)
+        # RFC 7694: the standing offer to accept deflated request
+        # bodies — the client-side pool flips on compression only
+        # after seeing this marker, so old servers never receive it.
+        self.send_header("Accept-Encoding", _DEFLATE)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         if body:
             self.wfile.write(body)
 
     def _dispatch(self, handler) -> None:
+        self.fabric.stats_counters.note_request()
         try:
             handler()
         except _HttpStatus as exc:
@@ -383,7 +686,10 @@ class _Handler(BaseHTTPRequestHandler):
     def _get(self) -> None:
         parts = self._segments()
         if parts == ["stats"]:
-            self._reply(200, self.fabric.stats())
+            deep = self._query().get("deep", "").lower() in ("1", "true", "yes")
+            self._reply(
+                200, self.fabric.stats() if deep else self.fabric.stats_fast()
+            )
         elif parts == ["keys"]:
             self._reply(200, {"keys": self.fabric.list_keys()})
         elif parts == ["timings"]:
@@ -483,7 +789,18 @@ class _Handler(BaseHTTPRequestHandler):
         elif len(parts) == 3 and parts[0] == "claims" and parts[2] == "next":
             body = self._body()
             count = (body or {}).get("count", 1)
-            if not isinstance(count, int) or count < 1:
+            # ?k=N is the batched-handout wire form; new clients send
+            # both (an old server ignores the query and honors the
+            # body), and the query wins when they disagree.
+            k = self._query().get("k")
+            if k is not None:
+                try:
+                    count = int(k)
+                except ValueError:
+                    raise _HttpStatus(
+                        400, f"claim query wants ?k=<int >= 1>, got k={k!r}"
+                    ) from None
+            if not isinstance(count, int) or isinstance(count, bool) or count < 1:
                 raise _HttpStatus(400, "claim body wants {'count': n >= 1}")
             self._reply(
                 200,

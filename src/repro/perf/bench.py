@@ -50,7 +50,14 @@ __all__ = [
 
 #: Fields that are measurements, not point identity.
 _MEASURE_KEYS = frozenset(
-    {"wall_time", "run_time", "certify_time", "cost", "bytes_per_record"}
+    {
+        "wall_time",
+        "run_time",
+        "certify_time",
+        "cost",
+        "bytes_per_record",
+        "records_per_s",
+    }
 )
 
 
@@ -292,6 +299,129 @@ def _transport_point(point: Mapping[str, Any]) -> dict:
     }
 
 
+def _fabric_point(point: Mapping[str, Any]) -> dict:
+    """HTTP cache fabric throughput against a live in-process server.
+
+    Every point boots a fresh :class:`CacheServer` over an unbounded
+    ``MemoryCache`` and drives it through ``HttpCache`` /
+    ``HttpClaimTable`` exactly as a distributed sweep would. The
+    ``client`` axis is the experiment: ``pooled`` is the production
+    configuration (keep-alive connection pool, deflate negotiation,
+    batched claim leases), ``per-request`` re-dials a fresh TCP
+    connection for every request and claims one lease at a time — the
+    pre-pool fabric, kept measurable as the speedup denominator.
+
+    Ops: ``steal-hits`` drains a fully pre-seeded claim sweep (pure
+    fabric round trips, zero compute), ``steal-mixed`` pre-seeds half
+    the cells (hit/miss interleave through the pipelined loop), and
+    ``bulk`` pushes ``put_many``/``get_many`` batches of ``size``-byte
+    payloads. ``records_per_s`` is the figure of merit; request
+    construction and cache seeding happen outside the timed region.
+    """
+    from ..engine.cache import MemoryCache
+    from ..engine.remote import HttpCache, HttpClaimTable
+    from ..engine.runner import (
+        BatchRunner,
+        RunRequest,
+        evaluate_request,
+        request_key,
+    )
+    from ..io.server import CacheServer
+    from ..workloads import poisson_instance
+
+    op = str(point["op"])
+    client = str(point["client"])
+    n = int(point["n"])
+    pooled = client == "pooled"
+
+    def open_client(url: str) -> "HttpCache":
+        if pooled:
+            return HttpCache(url)
+        return HttpCache(url, keep_alive=False, compress=False, pool_size=1)
+
+    server = CacheServer(MemoryCache(max_entries=None)).start()
+    try:
+        if op == "bulk":
+            size = int(point["size"])
+            entries = {
+                f"cell-{i:06d}": {"kind": "bench", "body": "x" * size}
+                for i in range(n)
+            }
+            cache = open_client(server.url)
+            try:
+
+                def exercise() -> None:
+                    cache.put_many(entries)
+                    found = cache.get_many(list(entries))
+                    if len(found) != n:  # pragma: no cover - lost update
+                        raise AssertionError("bulk round trip lost entries")
+
+                wall, _ = _timed(exercise)
+            finally:
+                cache.close()
+            ops_done = 2 * n  # n puts + n gets
+            return {
+                "n": n,
+                "m": 1,
+                "op": op,
+                "client": client,
+                "size": size,
+                "wall_time": wall,
+                "records_per_s": ops_done / wall,
+            }
+
+        workers = int(point.get("workers", 1))
+        requests = [
+            RunRequest(
+                "pd",
+                poisson_instance(4, m=1, alpha=3.0, seed=i),
+                tag={"cell": i},
+            )
+            for i in range(n)
+        ]
+        payload = evaluate_request(requests[0])
+        seeded = n if op == "steal-hits" else n // 2
+        for request in requests[:seeded]:
+            server.cache.put(
+                request_key(request.algorithm, request.instance), payload
+            )
+        cache = open_client(server.url)
+        claims = HttpClaimTable(
+            server.url,
+            "bench-fabric",
+            n,
+            lease_ttl=300.0,
+            keep_alive=pooled,
+        )
+        runner = BatchRunner(
+            workers=workers,
+            cache=cache,
+            claim_batch=16 if pooled else 1,
+        )
+        try:
+            wall, pairs = _timed(
+                lambda: runner.run_stolen(requests, claims)
+            )
+        finally:
+            claims.close()
+            cache.close()
+        if len(pairs) != n:  # pragma: no cover - lost cells are a bug
+            raise AssertionError(
+                f"stolen sweep returned {len(pairs)} of {n} cells"
+            )
+        return {
+            "n": n,
+            "m": 1,
+            "op": op,
+            "client": client,
+            "workers": workers,
+            "wall_time": wall,
+            "records_per_s": n / wall,
+        }
+    finally:
+        server.stop()
+
+
 def _points(**axes: Iterable) -> tuple[dict, ...]:
     """Cartesian grid helper: ``_points(n=[1,2], m=[1])``."""
     out: list[dict] = [{}]
@@ -351,6 +481,40 @@ SCENARIOS: dict[str, BenchScenario] = {
             full=_points(n=[25_000, 100_000]),
             smoke=_points(n=[100_000]),
             run_point=_oa_stream_point,
+        ),
+        BenchScenario(
+            name="fabric-throughput",
+            summary="HTTP fabric records/s: pooled keep-alive vs per-request",
+            full=_points(
+                op=["steal-hits", "steal-mixed"],
+                client=["pooled", "per-request"],
+                n=[240],
+                workers=[1],
+            )
+            + _points(
+                op=["steal-hits"], client=["pooled"], n=[240], workers=[4]
+            )
+            + _points(
+                op=["bulk"],
+                client=["pooled", "per-request"],
+                n=[300],
+                size=[64, 4096],
+            ),
+            # Smoke is an identity subset of full, so the calibrated
+            # baseline gate actually matches (and checks) every point.
+            smoke=_points(
+                op=["steal-hits"],
+                client=["pooled", "per-request"],
+                n=[240],
+                workers=[1],
+            )
+            + _points(
+                op=["bulk"],
+                client=["pooled", "per-request"],
+                n=[300],
+                size=[4096],
+            ),
+            run_point=_fabric_point,
         ),
         BenchScenario(
             name="transport-micro",
