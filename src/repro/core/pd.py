@@ -145,9 +145,14 @@ class PDScheduler:
         alpha: float,
         delta: float | None = None,
         power=None,
+        batch: str = "arrival",
     ) -> None:
         if m < 1:
             raise InvalidParameterError(f"m must be >= 1, got {m}")
+        if batch not in ("arrival", "epoch"):
+            raise InvalidParameterError(
+                f"batch must be 'arrival' or 'epoch', got {batch!r}"
+            )
         from ..model.power import PolynomialPower
 
         self.m = m
@@ -168,6 +173,7 @@ class PDScheduler:
         if self.delta <= 0.0:
             raise InvalidParameterError(f"delta must be > 0, got {self.delta}")
 
+        self.batch = batch
         self._jobs: list[Job] = []
         self._grid: Grid | None = None
         #: One live sorted-load store per atomic interval (accepted work).
@@ -177,12 +183,39 @@ class PDScheduler:
         self._planned: list[list[tuple[int, float]]] = []
         self._decisions: list[JobDecision] = []
         self._last_release = -np.inf
+        #: Total arrivals so far (== len(self._jobs) on the per-arrival
+        #: path; the epoch path stores columns instead of Job objects).
+        self._count = 0
+        #: Epoch-mode storage: per-block chunks of job columns
+        #: (release, deadline, workload, value arrays) and decision
+        #: columns (accepted, lam, speed, planned_work lists), appended
+        #: by :func:`repro.perf.epochs.arrive_epochs`. Materialized into
+        #: the historical Job/JobDecision shapes in :meth:`finish`.
+        self._chunks: list[tuple] = []
+        #: Optional pre-materialized job tuple for :meth:`finish` (set
+        #: by ``run_pd(batch="epoch")`` when the instance already holds
+        #: Job objects, preserving optional names bit for bit).
+        self._finish_jobs: tuple[Job, ...] | None = None
+        #: Intervals whose store has deferred (unflushed) suffix sums.
+        self._dirty_suffix: set[int] = set()
+        #: Intervals whose cached opening level is stale.
+        self._stale_open: set[int] = set()
+        #: Per-interval opening-speed envelope for the epoch pre-screen
+        #: (length N+1, trailing +inf sentinel); None when grid changed.
+        self._opens = None
+        #: Grid lengths as a plain float list (cache; None when stale).
+        self._len_list: list[float] | None = None
 
     # ------------------------------------------------------------------
     # Online interface
     # ------------------------------------------------------------------
     def arrive(self, job: Job) -> JobDecision:
         """Process the arrival of ``job`` and commit PD's decision."""
+        if self._chunks:
+            raise InvalidParameterError(
+                "cannot mix arrive() with epoch-batched arrivals; feed "
+                "this scheduler exclusively via arrive_many()"
+            )
         if job.release < self._last_release - 1e-12:
             raise InvalidParameterError(
                 f"jobs must arrive in release order: got release {job.release} "
@@ -191,8 +224,9 @@ class PDScheduler:
         self._last_release = max(self._last_release, job.release)
         job_id = len(self._jobs)
         self._jobs.append(job)
+        self._count = job_id + 1
 
-        self._refine_grid(job)
+        self._refine_grid(job.release, job.deadline)
         assert self._grid is not None
         ks = self._grid.covering(job.release, job.deadline)
         lengths = self._grid.lengths
@@ -232,14 +266,82 @@ class PDScheduler:
         self._decisions.append(decision)
         return decision
 
+    def arrive_many(self, arrays, *, epoch_size: int | None = None) -> None:
+        """Process a columnar block of arrivals (release-ordered).
+
+        On the per-arrival path this is sugar for feeding
+        ``arrays.job(i)`` one at a time. With ``batch="epoch"`` the block
+        is consumed by :func:`repro.perf.epochs.arrive_epochs` — batched
+        numpy passes over the columns, bit-identical decisions.
+        """
+        if self.batch == "epoch":
+            from ..perf.epochs import DEFAULT_EPOCH_SIZE, arrive_epochs
+
+            arrive_epochs(
+                self,
+                arrays,
+                epoch_size=(
+                    DEFAULT_EPOCH_SIZE if epoch_size is None else epoch_size
+                ),
+            )
+            return
+        for i in range(arrays.n):
+            self.arrive(arrays.job(i))
+
+    def _materialize(self) -> tuple[Instance, tuple[JobDecision, ...]]:
+        """The (instance, decisions) pair in the historical shapes.
+
+        Per-arrival runs stored both directly; epoch runs stored columns
+        and materialize the identical objects here — same floats, same
+        job order, names preserved when the caller provided Job objects.
+        """
+        if self._jobs:
+            instance = Instance(tuple(self._jobs), m=self.m, alpha=self._alpha)
+            return instance, tuple(self._decisions)
+        decisions = []
+        jobs: list[Job] = []
+        job_id = 0
+        for rel, dl, wl, val, acc, lam, spd, pw in self._chunks:
+            rel_l = rel.tolist()
+            dl_l = dl.tolist()
+            wl_l = wl.tolist()
+            val_l = val.tolist()
+            for t in range(len(acc)):
+                decisions.append(
+                    JobDecision(
+                        job_id=job_id,
+                        accepted=acc[t],
+                        lam=lam[t],
+                        planned_speed=spd[t],
+                        planned_work=pw[t],
+                    )
+                )
+                if self._finish_jobs is None:
+                    jobs.append(
+                        Job(
+                            release=rel_l[t],
+                            deadline=dl_l[t],
+                            workload=wl_l[t],
+                            value=val_l[t],
+                        )
+                    )
+                job_id += 1
+        if self._finish_jobs is not None:
+            job_tuple = self._finish_jobs
+        else:
+            job_tuple = tuple(jobs)
+        instance = Instance(job_tuple, m=self.m, alpha=self._alpha)
+        return instance, tuple(decisions)
+
     def finish(self) -> PDResult:
         """Assemble the final :class:`PDResult` after all arrivals."""
-        if not self._jobs:
+        if self._count == 0:
             raise InvalidParameterError("no jobs were processed")
         assert self._grid is not None
-        instance = Instance(tuple(self._jobs), m=self.m, alpha=self._alpha)
-        finished = np.array([d.accepted for d in self._decisions], dtype=bool)
-        n = len(self._jobs)
+        self._flush_suffixes()
+        instance, decisions = self._materialize()
+        finished = np.array([d.accepted for d in decisions], dtype=bool)
+        n = self._count
         big_n = self._grid.size
         loads = self.snapshot_loads()
         planned = np.zeros((n, big_n))
@@ -254,8 +356,8 @@ class PDScheduler:
         )
         return PDResult(
             schedule=schedule,
-            decisions=tuple(self._decisions),
-            lambdas=np.array([d.lam for d in self._decisions]),
+            decisions=decisions,
+            lambdas=np.array([d.lam for d in decisions]),
             planned_loads=planned,
             delta=self.delta,
         )
@@ -269,7 +371,7 @@ class PDScheduler:
         """
         if self._grid is None:
             return np.zeros((0, 0))
-        loads = np.zeros((len(self._jobs), self._grid.size))
+        loads = np.zeros((self._count, self._grid.size))
         for k, state in enumerate(self._states):
             if state.ids:
                 loads[state.ids, k] = state.loads
@@ -293,16 +395,25 @@ class PDScheduler:
             return 0.0
         from ..perf.energy import stores_energy  # lazy: layering
 
+        self._flush_suffixes()
         return stores_energy(
             self._states, self._grid.lengths, self.m, self.power
         )
 
     def streaming_lost_value(self) -> float:
         """Sum of values of rejected jobs so far (no dense schedule)."""
-        if not self._jobs:
+        if self._count == 0:
             return 0.0
-        values = np.array([j.value for j in self._jobs], dtype=np.float64)
-        finished = np.array([d.accepted for d in self._decisions], dtype=bool)
+        if self._jobs:
+            values = np.array([j.value for j in self._jobs], dtype=np.float64)
+            finished = np.array(
+                [d.accepted for d in self._decisions], dtype=bool
+            )
+        else:
+            values = np.concatenate([c[3] for c in self._chunks])
+            finished = np.array(
+                [a for c in self._chunks for a in c[4]], dtype=bool
+            )
         return float(values[~finished].sum())
 
     def streaming_cost(self) -> float:
@@ -312,7 +423,27 @@ class PDScheduler:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _refine_grid(self, job: Job) -> None:
+    def _flush_suffixes(self) -> None:
+        """Rebuild every deferred suffix sum (epoch-mode bookkeeping)."""
+        if self._dirty_suffix:
+            for k in self._dirty_suffix:
+                self._states[k].flush_suffix()
+            self._dirty_suffix.clear()
+
+    def _length_list(self) -> list[float]:
+        """Grid lengths as plain floats (cached per grid version).
+
+        Exactly the floats ``float(lengths[k])`` yields — ``tolist`` and
+        scalar conversion both round-trip the same float64 — cached so
+        the epoch hot loop can slice windows without per-interval numpy
+        scalar boxing.
+        """
+        if self._len_list is None:
+            assert self._grid is not None
+            self._len_list = self._grid.lengths.tolist()
+        return self._len_list
+
+    def _refine_grid(self, release: float, deadline: float) -> bool:
         """Insert the new job's window endpoints, splitting frozen loads.
 
         A specialized two-point refinement: the generic
@@ -330,14 +461,16 @@ class PDScheduler:
         :meth:`~repro.model.intervals.Refinement.split_row`.
         """
         if self._grid is None:
-            self._grid = Grid.from_points([job.release, job.deadline])
+            self._grid = Grid.from_points([release, deadline])
             self._states = [IntervalLoads() for _ in range(self._grid.size)]
             self._planned = [[] for _ in range(self._grid.size)]
-            return
+            self._len_list = None
+            self._opens = None
+            return True
         b = self._grid.boundaries
-        fresh = self._grid.fresh_points([job.release, job.deadline])
+        fresh = self._grid.fresh_points([release, deadline])
         if not fresh:
-            return
+            return False
 
         lo = float(b[0])
         hi = float(b[-1])
@@ -373,14 +506,34 @@ class PDScheduler:
         if tail:
             self._states.extend(IntervalLoads() for _ in range(tail))
             self._planned.extend([] for _ in range(tail))
+        # Interval indices shifted: drop the caches keyed by them.
+        self._len_list = None
+        self._opens = None
+        return True
 
 
-def run_pd(instance: Instance, *, delta: float | None = None) -> PDResult:
+def run_pd(
+    instance: Instance,
+    *,
+    delta: float | None = None,
+    batch: str | None = None,
+    epoch_size: int | None = None,
+) -> PDResult:
     """Run PD on a full instance (jobs fed in arrival order).
 
     This is the main entry point of the library. Jobs are sorted by
     release time (deterministic tie-breaking); the returned result's
     instance reflects that order.
+
+    ``batch`` selects the execution strategy — ``"arrival"`` (the
+    historical one-``arrive()``-per-job loop) or ``"epoch"`` (the
+    vectorized arrival-epoch layer of :mod:`repro.perf.epochs`,
+    consuming jobs in blocks straight off the columnar storage).
+    ``None`` defers to the ambient :func:`repro.perf.epochs.batch_mode`
+    context (default ``"arrival"``). The results are bit-identical
+    either way — batching is an execution strategy, never a result
+    change — so the choice deliberately does not participate in cache
+    keys. ``epoch_size`` tunes the epoch block length (epoch mode only).
 
     Examples
     --------
@@ -392,10 +545,27 @@ def run_pd(instance: Instance, *, delta: float | None = None) -> PDResult:
     >>> [bool(a) for a in result.accepted_mask]
     [False, True]
     """
+    from ..perf.epochs import current_batch_mode
+
+    mode = batch if batch is not None else current_batch_mode()
+    if mode not in ("arrival", "epoch"):
+        raise InvalidParameterError(
+            f"batch must be 'arrival' or 'epoch', got {mode!r}"
+        )
     ordered = instance.sorted_by_release()
-    scheduler = PDScheduler(m=ordered.m, alpha=ordered.alpha, delta=delta)
-    for job in ordered.jobs:
-        scheduler.arrive(job)
+    scheduler = PDScheduler(
+        m=ordered.m, alpha=ordered.alpha, delta=delta, batch=mode
+    )
+    if mode == "epoch":
+        if "jobs" in ordered.__dict__:
+            # Job objects already exist (possibly named): reuse them at
+            # finish() so the epoch result is byte-identical even for
+            # named jobs, which the columns cannot carry.
+            scheduler._finish_jobs = ordered.jobs
+        scheduler.arrive_many(ordered.arrays, epoch_size=epoch_size)
+    else:
+        for job in ordered.jobs:
+            scheduler.arrive(job)
     return scheduler.finish()
 
 

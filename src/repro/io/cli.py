@@ -321,6 +321,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     swp.add_argument(
+        "--batch-mode",
+        choices=["arrival", "epoch"],
+        default=None,
+        help=(
+            "main-loop execution strategy for algorithms with an "
+            "epoch-batched path (bit-parity-tested: records and cache "
+            "keys are identical either way; epoch is the fast choice "
+            "for large n). Default: each algorithm's own default"
+        ),
+    )
+    swp.add_argument(
         "--progress",
         action="store_true",
         help="print a completion-order progress ticker to stderr",
@@ -419,6 +430,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="also write the fresh results into this baseline directory",
+    )
+    bch.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "additionally run each point once under cProfile and write "
+            "the top-25 cumulative-time tables to a .profile.txt "
+            "sibling of the BENCH json (timed measurements stay "
+            "unprofiled)"
+        ),
     )
 
     lnt = sub.add_parser(
@@ -835,10 +856,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             name,
             grid=args.grid,
             progress=lambda line: print(line, file=sys.stderr),
+            profile=args.profile,
         )
+        # Profile tables live next to the BENCH json, not inside it —
+        # the committed series (and baselines) stay measurement-only.
+        profiles = payload.pop("profiles", None)
         payloads.append(payload)
         path = write_result(payload, args.out)
         print(f"{name}: {len(payload['series'])} points -> {path}")
+        if profiles:
+            profile_path = path[: -len(".json")] + ".profile.txt"
+            with open(profile_path, "w") as fh:
+                for entry in profiles:
+                    fh.write(f"=== {name} {entry['point']} ===\n")
+                    fh.write(entry["table"])
+                    fh.write("\n")
+            print(f"{name}: {len(profiles)} profiles -> {profile_path}")
         if args.baseline:
             base_path = os.path.join(args.baseline, f"BENCH_{name}.json")
             if os.path.exists(base_path):
@@ -1209,6 +1242,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         n=args.n,
         seeds=tuple(_csv(args.seeds, int)),
         skip_incapable=True,
+        batch_mode=args.batch_mode,
     )
     if args.workload:
         from ..workloads.registry import WORKLOADS

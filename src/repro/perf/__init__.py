@@ -7,6 +7,11 @@ simulation paths scale without changing a single bit of their output:
   (:class:`~repro.perf.kernels.IntervalLoads`) and the batched window
   evaluator (:class:`~repro.perf.kernels.WindowKernel`) the primal-dual
   water-filling prices jobs against;
+* :mod:`repro.perf.epochs` — arrival-epoch batched execution of the
+  PD main loop (:func:`~repro.perf.epochs.arrive_epochs` plus the
+  ambient :func:`~repro.perf.epochs.batch_mode` switch): blocks of
+  consecutive arrivals consumed off the columnar job storage with
+  vectorized order/window/screen passes, bit-identical decisions;
 * :mod:`repro.perf.energy` — batched multi-interval energy evaluation
   (:func:`~repro.perf.energy.schedule_energy` over dense load matrices,
   :func:`~repro.perf.energy.stores_energy` over streaming
@@ -24,11 +29,21 @@ execution strategy here, never a result change.
 """
 
 from .energy import schedule_energy, stores_energy
+from .epochs import (
+    DEFAULT_EPOCH_SIZE,
+    arrive_epochs,
+    batch_mode,
+    current_batch_mode,
+)
 from .kernels import IntervalLoads, WindowKernel
 
 __all__ = [
+    "DEFAULT_EPOCH_SIZE",
     "IntervalLoads",
     "WindowKernel",
+    "arrive_epochs",
+    "batch_mode",
+    "current_batch_mode",
     "schedule_energy",
     "stores_energy",
 ]

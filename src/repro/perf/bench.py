@@ -195,13 +195,16 @@ def _cache_point(point: Mapping[str, Any]) -> dict:
 
 
 def _pd_stream_point(point: Mapping[str, Any]) -> dict:
-    """PD at 100k–1M jobs: SoA generation, streaming cost, no finish().
+    """PD at 10k–1M jobs: SoA generation, epoch batching, streaming cost.
 
     The dense ``(n, N)`` schedule matrix a ``finish()`` would build is
     tens of gigabytes at a million jobs — this point exercises exactly
-    the path that avoids it: columnar ``slotted`` generation, lazy
-    per-arrival ``Job`` materialization, and
-    :meth:`PDScheduler.streaming_cost` off the live stores.
+    the path that avoids it: columnar ``slotted`` generation, the
+    arrival-epoch batched main loop (:mod:`repro.perf.epochs` — the
+    bit-parity-tested fast twin of the per-arrival loop), and
+    :meth:`PDScheduler.streaming_cost` off the live stores. The ``cost``
+    field is byte-identical to what the per-arrival loop produces, so
+    baselines emitted before the epoch path still match on identity.
     """
     from ..core.pd import PDScheduler
     from ..workloads import slotted_instance
@@ -211,9 +214,8 @@ def _pd_stream_point(point: Mapping[str, Any]) -> dict:
     arrays = instance.sorted_by_release().arrays
 
     def exercise() -> float:
-        sched = PDScheduler(m=m, alpha=3.0)
-        for i in range(arrays.n):
-            sched.arrive(arrays.job(i))
+        sched = PDScheduler(m=m, alpha=3.0, batch="epoch")
+        sched.arrive_many(arrays)
         return sched.streaming_cost()
 
     wall, cost = _timed(exercise)
@@ -221,14 +223,14 @@ def _pd_stream_point(point: Mapping[str, Any]) -> dict:
 
 
 def _oa_stream_point(point: Mapping[str, Any]) -> dict:
-    """Incremental OA at 100k jobs: lazy-prefix replans, no dense schedule."""
+    """Incremental OA at 100k jobs: lazy-prefix replans, epoch bookkeeping."""
     from ..classical.oa import oa_segments
     from ..model.power import PolynomialPower
     from ..workloads import slotted_instance
 
     n = int(point["n"])
     instance = slotted_instance(n, slots=2000, m=1, alpha=3.0, seed=0)
-    wall, out = _timed(lambda: oa_segments(instance))
+    wall, out = _timed(lambda: oa_segments(instance, batch="epoch"))
     _, executed = out
     power = PolynomialPower(3.0)
     energy = sum(
@@ -470,9 +472,13 @@ SCENARIOS: dict[str, BenchScenario] = {
         ),
         BenchScenario(
             name="pd-1m",
-            summary="PD at 100k-1M jobs: SoA instances + streaming cost",
-            full=_points(n=[100_000, 1_000_000], m=[4]),
-            smoke=_points(n=[100_000], m=[4]),
+            summary="PD at 10k-1M jobs: SoA instances, epoch batching, "
+            "streaming cost",
+            # The 10k point appears in both grids so the smoke run's
+            # fastest point is still matched (and gated) against the
+            # committed full-grid baseline.
+            full=_points(n=[10_000, 100_000, 1_000_000], m=[4]),
+            smoke=_points(n=[10_000, 100_000], m=[4]),
             run_point=_pd_stream_point,
         ),
         BenchScenario(
@@ -570,8 +576,18 @@ def run_scenario(
     *,
     grid: str = "full",
     progress: Callable[[str], None] | None = None,
+    profile: bool = False,
 ) -> dict:
-    """Run one scenario and return its BENCH payload."""
+    """Run one scenario and return its BENCH payload.
+
+    With ``profile=True`` every point gets one *extra* run under
+    :mod:`cProfile` and the payload carries a ``profiles`` list (one
+    top-25-by-cumulative-time table per point). The timed measurements
+    stay unprofiled — tracing slows points several-fold, so a profiled
+    wall time would gate against the wrong number; the CLI writes the
+    tables to a ``.profile.txt`` sibling of the BENCH json instead of
+    committing them into the series.
+    """
     scenario = SCENARIOS.get(name)
     if scenario is None:
         raise InvalidParameterError(
@@ -579,6 +595,7 @@ def run_scenario(
             f"available: {', '.join(sorted(SCENARIOS))}"
         )
     series = []
+    profiles: list[dict] = []
     for point in scenario.points(grid):
         row = scenario.run_point(point)
         # Millisecond-scale points are one scheduler stall away from a
@@ -593,12 +610,27 @@ def run_scenario(
             if candidate["wall_time"] < row["wall_time"]:
                 row = candidate
         series.append(row)
+        ident = " ".join(
+            f"{k}={row[k]}" for k in row if k not in _MEASURE_KEYS
+        )
         if progress is not None:
-            ident = " ".join(
-                f"{k}={row[k]}" for k in row if k not in _MEASURE_KEYS
-            )
             progress(f"[{name}] {ident}: {row['wall_time']:.4f}s")
-    return {
+        if profile:
+            import cProfile
+            import io
+            import pstats
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            scenario.run_point(point)
+            profiler.disable()
+            buffer = io.StringIO()
+            stats = pstats.Stats(profiler, stream=buffer)
+            stats.sort_stats("cumulative").print_stats(25)
+            profiles.append({"point": ident, "table": buffer.getvalue()})
+            if progress is not None:
+                progress(f"[{name}] {ident}: profiled")
+    payload = {
         "schema": 1,
         "kind": "bench-series",
         "scenario": name,
@@ -606,6 +638,9 @@ def run_scenario(
         "environment": environment_stamp(),
         "series": series,
     }
+    if profile:
+        payload["profiles"] = profiles
+    return payload
 
 
 def write_result(

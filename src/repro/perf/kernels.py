@@ -95,6 +95,55 @@ class IntervalLoads:
         self.ids.insert(pos, job_id)
         self._rebuild_suffix()
 
+    def insert_deferred(self, job_id: int, load: float) -> None:
+        """Sorted insertion with the suffix rebuild deferred.
+
+        The epoch-batched execution layer accepts many jobs between two
+        suffix reads, so rebuilding after every insert repeats O(p) work
+        that the next insert throws away. This variant updates only the
+        sorted ``loads``/``neg``/``ids`` triplet — identical to
+        :meth:`insert`, insertion order and all — and leaves ``suffix``
+        stale; the caller must invoke :meth:`flush_suffix` before the
+        next suffix read. The flushed suffix is a pure function of the
+        final ``loads`` list, so coalescing rebuilds cannot change a
+        bit of any subsequent query.
+        """
+        if not (load > 0.0):
+            raise InvalidParameterError(
+                f"interval loads must be > 0, got {load}"
+            )
+        pos = bisect_right(self.neg, -load)
+        self.loads.insert(pos, load)
+        self.neg.insert(pos, -load)
+        self.ids.insert(pos, job_id)
+
+    def flush_suffix(self) -> None:
+        """Rebuild the suffix sums after deferred insertions."""
+        self._rebuild_suffix()
+
+    def open_speed(self, m: int, length: float) -> float:
+        """Smallest speed above which this interval absorbs new load.
+
+        The water level at which ``max_load_at_speed`` turns positive is
+        ``t* = min_d suffix[d] / (m - d)`` over the feasible occupancy
+        counts ``d`` (a standard identity for the m-machine water-filling
+        level: at the consistent ``d*`` the expression equals the level,
+        and it is >= the level everywhere else). Any speed at or below
+        ``t*/length`` yields exactly zero absorbed load — an *exact*
+        threshold, used by the epoch pre-screen as a conservative gate
+        (screen errors only reroute jobs, never change a decision).
+        Requires a flushed suffix.
+        """
+        suffix = self.suffix
+        p = len(self.loads)
+        lim = m if m <= p else p + 1
+        best = suffix[0] / m
+        for d in range(1, lim):
+            c = suffix[d] / (m - d)
+            if c < best:
+                best = c
+        return best / length
+
     def split(self, fraction: float) -> "IntervalLoads":
         """Split-copy for grid refinement: every load scaled once.
 

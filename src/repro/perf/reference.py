@@ -29,6 +29,7 @@ from ..types import FloatArray
 __all__ = [
     "PARITY_PAIRS",
     "PDSchedulerReference",
+    "arrive_epochs_reference",
     "run_pd_reference",
     "schedule_energy_reference",
 ]
@@ -44,6 +45,12 @@ PARITY_PAIRS = {
     "WindowKernel": "run_pd_reference",
     "schedule_energy": "schedule_energy_reference",
     "stores_energy": "schedule_energy_reference",
+    # Arrival-epoch batched execution (repro.perf.epochs): the reference
+    # twin is the per-arrival loop itself — one scalar arrive() per job.
+    "DEFAULT_EPOCH_SIZE": "arrive_epochs_reference",
+    "arrive_epochs": "arrive_epochs_reference",
+    "batch_mode": "arrive_epochs_reference",
+    "current_batch_mode": "arrive_epochs_reference",
 }
 
 
@@ -228,3 +235,15 @@ def run_pd_reference(
     for job in ordered.jobs:
         scheduler.arrive(job)
     return scheduler.finish()
+
+
+def arrive_epochs_reference(scheduler, arrays) -> None:
+    """The per-arrival twin of :func:`repro.perf.epochs.arrive_epochs`.
+
+    Feeds the columnar block one scalar ``arrive()`` at a time — the
+    exact loop the epoch layer replaces. The differential suite runs
+    both drivers against identical schedulers and asserts byte-identical
+    decisions, stores, planned loads, payloads, and cache keys.
+    """
+    for i in range(arrays.n):
+        scheduler.arrive(arrays.job(i))
